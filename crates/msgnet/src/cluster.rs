@@ -1,0 +1,348 @@
+//! Clusters of endpoints connected by in-process channels.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use sp2model::{CostModel, SharedStats, VirtualTime};
+
+use crate::{Envelope, NetError, NodeId};
+
+/// The two logical delivery ports of a node.
+///
+/// TreadMarks services remote requests (lock, page, diff) with an interrupt
+/// handler while the main computation may itself be blocked waiting for a
+/// reply. Keeping the two message classes on separate ports lets the
+/// simulated protocol-server thread drain requests without stealing the
+/// replies the compute thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Unsolicited requests, handled by the node's protocol-server thread.
+    Request,
+    /// Replies and collective-operation data, consumed by the compute thread.
+    Reply,
+}
+
+struct Mailbox<M> {
+    request_tx: Sender<Envelope<M>>,
+    reply_tx: Sender<Envelope<M>>,
+}
+
+impl<M> Clone for Mailbox<M> {
+    fn clone(&self) -> Self {
+        Mailbox { request_tx: self.request_tx.clone(), reply_tx: self.reply_tx.clone() }
+    }
+}
+
+/// A fully connected simulated cluster of `n` nodes.
+///
+/// `Cluster` is a factory: build it once, then [`into_endpoints`]
+/// (Self::into_endpoints) and hand one [`Endpoint`] to each node thread.
+pub struct Cluster<M> {
+    endpoints: Vec<Endpoint<M>>,
+}
+
+impl<M: Send> Cluster<M> {
+    /// Creates a cluster of `nodes` endpoints sharing `cost_model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize, cost_model: CostModel) -> Cluster<M> {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        let cost_model = Arc::new(cost_model);
+        let mut mailboxes = Vec::with_capacity(nodes);
+        let mut receivers = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let (request_tx, request_rx) = unbounded();
+            let (reply_tx, reply_rx) = unbounded();
+            mailboxes.push(Mailbox { request_tx, reply_tx });
+            receivers.push((request_rx, reply_rx));
+        }
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, (request_rx, reply_rx))| Endpoint {
+                id: NodeId(id),
+                nodes,
+                mailboxes: mailboxes.clone(),
+                request_rx,
+                reply_rx,
+                cost_model: Arc::clone(&cost_model),
+                stats: SharedStats::new(),
+            })
+            .collect();
+        Cluster { endpoints }
+    }
+
+    /// Consumes the cluster, yielding one endpoint per node (index = node id).
+    pub fn into_endpoints(self) -> Vec<Endpoint<M>> {
+        self.endpoints
+    }
+}
+
+impl<M> fmt::Debug for Cluster<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster").field("nodes", &self.endpoints.len()).finish()
+    }
+}
+
+/// One node's connection to the cluster.
+///
+/// The endpoint owns the node's receive queues and clones of every other
+/// node's send queues, the shared [`CostModel`] and the node's statistics
+/// counters. It is `Send` so it can move into the node's thread, but it is
+/// deliberately not `Clone`: the protocol-server thread and the compute
+/// thread of a node share one endpoint through the runtime's own
+/// synchronization.
+pub struct Endpoint<M> {
+    id: NodeId,
+    nodes: usize,
+    mailboxes: Vec<Mailbox<M>>,
+    request_rx: Receiver<Envelope<M>>,
+    reply_rx: Receiver<Envelope<M>>,
+    cost_model: Arc<CostModel>,
+    stats: SharedStats,
+}
+
+impl<M: Send> Endpoint<M> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The cluster-wide cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// This node's statistics counters.
+    pub fn stats(&self) -> &SharedStats {
+        &self.stats
+    }
+
+    /// Sends `payload` of modelled size `payload_bytes` to `dst`, issued at
+    /// local virtual time `sent_at`. Returns the virtual time at which the
+    /// message arrives.
+    ///
+    /// `interrupt` selects the interrupt-driven (DSM) or polled
+    /// (message-passing baseline) cost path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not a node of this cluster; sending to oneself is
+    /// allowed and costs nothing extra.
+    pub fn send(
+        &self,
+        dst: NodeId,
+        port: Port,
+        payload: M,
+        payload_bytes: usize,
+        sent_at: VirtualTime,
+        interrupt: bool,
+    ) -> VirtualTime {
+        assert!(dst.index() < self.nodes, "destination {dst} outside cluster of {}", self.nodes);
+        let latency = if dst == self.id {
+            VirtualTime::ZERO
+        } else {
+            self.cost_model.message_cost(payload_bytes, interrupt)
+        };
+        let arrives_at = sent_at + latency;
+        let envelope = Envelope {
+            src: self.id,
+            dst,
+            sent_at,
+            arrives_at,
+            payload_bytes,
+            payload,
+        };
+        if dst != self.id {
+            self.stats.messages_sent(1);
+            self.stats.bytes_sent(payload_bytes as u64);
+        }
+        let mailbox = &self.mailboxes[dst.index()];
+        let tx = match port {
+            Port::Request => &mailbox.request_tx,
+            Port::Reply => &mailbox.reply_tx,
+        };
+        // Receiver endpoints live as long as the cluster run; a send after
+        // teardown only happens in tests, where dropping the message is fine.
+        let _ = tx.send(envelope);
+        arrives_at
+    }
+
+    /// Sends the same payload to every other node (the payload must be
+    /// `Clone`). Returns the arrival time at the last destination.
+    ///
+    /// The first copy costs a full message; subsequent copies cost the
+    /// broadcast increment, modelling the SP/2 broadcast support the paper
+    /// exploits when merging data with barriers.
+    pub fn broadcast(
+        &self,
+        port: Port,
+        payload: M,
+        payload_bytes: usize,
+        sent_at: VirtualTime,
+        interrupt: bool,
+    ) -> VirtualTime
+    where
+        M: Clone,
+    {
+        let mut last_arrival = sent_at;
+        let mut extra = 0;
+        for peer in (0..self.nodes).map(NodeId) {
+            if peer == self.id {
+                continue;
+            }
+            let arrival = self.send(peer, port, payload.clone(), payload_bytes, sent_at, interrupt)
+                + self.cost_model.broadcast_extra_cost(extra);
+            last_arrival = last_arrival.max(arrival);
+            extra += 1;
+        }
+        if self.nodes > 1 {
+            self.stats.broadcasts(1);
+        }
+        last_arrival
+    }
+
+    /// Blocks until a message arrives on `port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if every peer endpoint has been
+    /// dropped.
+    pub fn recv(&self, port: Port) -> Result<Envelope<M>, NetError> {
+        let rx = match port {
+            Port::Request => &self.request_rx,
+            Port::Reply => &self.reply_rx,
+        };
+        rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Returns a pending message on `port` if one is queued.
+    pub fn try_recv(&self, port: Port) -> Option<Envelope<M>> {
+        let rx = match port {
+            Port::Request => &self.request_rx,
+            Port::Reply => &self.reply_rx,
+        };
+        rx.try_recv().ok()
+    }
+}
+
+impl<M> fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.id)
+            .field("nodes", &self.nodes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_nodes() -> (Endpoint<u32>, Endpoint<u32>) {
+        let mut v = Cluster::new(2, CostModel::sp2()).into_endpoints();
+        let b = v.pop().unwrap();
+        let a = v.pop().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn send_and_receive_preserves_payload_and_times() {
+        let (a, b) = two_nodes();
+        let sent_at = VirtualTime::from_micros(100);
+        let arrival = a.send(b.id(), Port::Reply, 7, 64, sent_at, true);
+        assert!(arrival > sent_at);
+        let env = b.recv(Port::Reply).unwrap();
+        assert_eq!(env.payload, 7);
+        assert_eq!(env.src, a.id());
+        assert_eq!(env.arrives_at, arrival);
+    }
+
+    #[test]
+    fn ports_are_independent() {
+        let (a, b) = two_nodes();
+        a.send(b.id(), Port::Request, 1, 0, VirtualTime::ZERO, true);
+        a.send(b.id(), Port::Reply, 2, 0, VirtualTime::ZERO, true);
+        assert_eq!(b.try_recv(Port::Reply).unwrap().payload, 2);
+        assert_eq!(b.try_recv(Port::Request).unwrap().payload, 1);
+        assert!(b.try_recv(Port::Request).is_none());
+    }
+
+    #[test]
+    fn statistics_count_messages_and_bytes() {
+        let (a, b) = two_nodes();
+        a.send(b.id(), Port::Reply, 1, 100, VirtualTime::ZERO, true);
+        a.send(b.id(), Port::Reply, 2, 28, VirtualTime::ZERO, true);
+        let snap = a.stats().snapshot();
+        assert_eq!(snap.messages_sent, 2);
+        assert_eq!(snap.bytes_sent, 128);
+        assert_eq!(b.stats().snapshot().messages_sent, 0);
+    }
+
+    #[test]
+    fn self_sends_are_free_and_uncounted() {
+        let (a, _b) = two_nodes();
+        let t = VirtualTime::from_micros(5);
+        let arrival = a.send(a.id(), Port::Reply, 9, 1000, t, true);
+        assert_eq!(arrival, t);
+        assert_eq!(a.stats().snapshot().messages_sent, 0);
+        assert_eq!(a.recv(Port::Reply).unwrap().payload, 9);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_other_nodes() {
+        let endpoints = Cluster::<u8>::new(4, CostModel::sp2()).into_endpoints();
+        let sender = &endpoints[0];
+        sender.broadcast(Port::Reply, 42, 8, VirtualTime::ZERO, true);
+        for peer in &endpoints[1..] {
+            assert_eq!(peer.recv(Port::Reply).unwrap().payload, 42);
+        }
+        assert!(endpoints[0].try_recv(Port::Reply).is_none());
+        let snap = sender.stats().snapshot();
+        assert_eq!(snap.messages_sent, 3);
+        assert_eq!(snap.broadcasts, 1);
+    }
+
+    #[test]
+    fn polled_sends_arrive_sooner_than_interrupt_sends() {
+        let (a, b) = two_nodes();
+        let t0 = VirtualTime::ZERO;
+        let fast = a.send(b.id(), Port::Reply, 1, 0, t0, false);
+        let slow = a.send(b.id(), Port::Reply, 2, 0, t0, true);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sending_outside_the_cluster_panics() {
+        let (a, _b) = two_nodes();
+        a.send(NodeId(5), Port::Reply, 0, 0, VirtualTime::ZERO, true);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let mut v = Cluster::<u64>::new(2, CostModel::free()).into_endpoints();
+        let b = v.pop().unwrap();
+        let a = v.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100u64 {
+                    a.send(NodeId(1), Port::Reply, i, 8, VirtualTime::ZERO, true);
+                }
+            });
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += b.recv(Port::Reply).unwrap().payload;
+            }
+            assert_eq!(sum, 4950);
+        });
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for the interconnect.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by the simulated interconnect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The destination node id is outside the cluster.
+    NoSuchNode(NodeId),
+    /// A receive was attempted after every peer endpoint was dropped.
+    Disconnected,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoSuchNode(node) => write!(f, "no such node: {node}"),
+            NetError::Disconnected => write!(f, "all peer endpoints have been dropped"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(NetError::NoSuchNode(NodeId(9)).to_string().contains("P9"));
+        assert!(NetError::Disconnected.to_string().contains("dropped"));
+    }
+}

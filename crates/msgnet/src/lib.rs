@@ -1,0 +1,45 @@
+//! # msgnet — the simulated cluster interconnect
+//!
+//! The paper's experiments run on an 8-node IBM SP/2 whose nodes communicate
+//! through IBM's user-level Message Passing Library (MPL). This crate is the
+//! stand-in: a set of [`Endpoint`]s connected by in-process channels, with
+//! every transfer charged to the [`sp2model`] cost model and counted in the
+//! shared statistics.
+//!
+//! Two layers are provided:
+//!
+//! * the raw [`Cluster`] / [`Endpoint`] layer used by the DSM runtime — typed
+//!   payloads, a *request* port serviced by each node's protocol-server
+//!   thread (the paper's interrupt handler) and a *reply* port consumed by
+//!   the blocked compute thread;
+//! * the [`mp`] module — a small PVM/MPL-like explicit message-passing API
+//!   (send/recv/broadcast/barrier with virtual-time accounting) used by the
+//!   hand-coded (PVMe) and compiler-generated (XHPF) baseline versions of the
+//!   applications.
+//!
+//! ```
+//! use msgnet::{Cluster, Port};
+//! use sp2model::{CostModel, VirtualTime};
+//!
+//! let mut endpoints = Cluster::new(2, CostModel::sp2()).into_endpoints();
+//! let b = endpoints.pop().unwrap();
+//! let a = endpoints.pop().unwrap();
+//! let arrival = a.send(b.id(), Port::Reply, "hello", 5, VirtualTime::ZERO, true);
+//! let env = b.recv(Port::Reply).unwrap();
+//! assert_eq!(env.payload, "hello");
+//! assert_eq!(env.arrives_at, arrival);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod envelope;
+mod error;
+pub mod mp;
+mod node;
+
+pub use cluster::{Cluster, Endpoint, Port};
+pub use envelope::Envelope;
+pub use error::NetError;
+pub use node::NodeId;

@@ -1,0 +1,42 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifies one node (processor) of the simulated cluster.
+///
+/// Node ids are dense indices `0..n`; node 0 plays the distinguished roles
+/// the paper assigns to it (barrier master, default lock managers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The node's dense index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let n = NodeId(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(n.to_string(), "P3");
+        assert_eq!(NodeId::from(5), NodeId(5));
+    }
+}

@@ -1,0 +1,249 @@
+//! Word-granularity diffs between a twin and a modified page.
+//!
+//! TreadMarks encodes the modifications made to a page as a *diff*: the page
+//! is compared word by word against its twin (the copy saved when the page
+//! first became writable) and the changed runs are recorded. Diffs, not whole
+//! pages, travel over the network, and multiple diffs for the same page can
+//! be applied in timestamp order to reconstruct a consistent copy — this is
+//! what enables the multiple-writer protocol and what causes the *diff
+//! accumulation* pathology the paper observes for IS.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MemError, PAGE_SIZE};
+
+/// Comparison granularity in bytes (one 32-bit word, as in TreadMarks).
+const WORD: usize = 4;
+
+/// A run of modified bytes within a page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Run {
+    /// Byte offset of the run within the page (word aligned).
+    offset: u32,
+    /// The new contents of the run.
+    data: Vec<u8>,
+}
+
+/// A word-granularity run-length encoded diff of one page.
+///
+/// ```
+/// use pagedmem::{Diff, PAGE_SIZE};
+/// let twin = vec![0u8; PAGE_SIZE];
+/// let mut modified = twin.clone();
+/// modified[8..16].copy_from_slice(&[9; 8]);
+/// let diff = Diff::create(&twin, &modified);
+/// assert!(!diff.is_empty());
+/// assert!(diff.encoded_bytes() < PAGE_SIZE);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Diff {
+    runs: Vec<Run>,
+}
+
+impl Diff {
+    /// Compares `current` against `twin` and records the changed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two buffers are not both exactly [`PAGE_SIZE`] long.
+    pub fn create(twin: &[u8], current: &[u8]) -> Diff {
+        assert_eq!(twin.len(), PAGE_SIZE, "twin must be a whole page");
+        assert_eq!(current.len(), PAGE_SIZE, "page must be a whole page");
+        let mut runs = Vec::new();
+        let mut run_start: Option<usize> = None;
+        for word in 0..PAGE_SIZE / WORD {
+            let lo = word * WORD;
+            let hi = lo + WORD;
+            let differs = twin[lo..hi] != current[lo..hi];
+            match (differs, run_start) {
+                (true, None) => run_start = Some(lo),
+                (false, Some(start)) => {
+                    runs.push(Run { offset: start as u32, data: current[start..lo].to_vec() });
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = run_start {
+            runs.push(Run { offset: start as u32, data: current[start..PAGE_SIZE].to_vec() });
+        }
+        Diff { runs }
+    }
+
+    /// A diff that describes the entire page contents (used when a whole page
+    /// must be shipped, e.g. the first copy of a page).
+    pub fn full_page(current: &[u8]) -> Diff {
+        assert_eq!(current.len(), PAGE_SIZE, "page must be a whole page");
+        Diff { runs: vec![Run { offset: 0, data: current.to_vec() }] }
+    }
+
+    /// Applies the diff to `page`, overwriting the recorded runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadPageLength`] if `page` is not exactly one page.
+    pub fn apply(&self, page: &mut [u8]) -> Result<(), MemError> {
+        if page.len() != PAGE_SIZE {
+            return Err(MemError::BadPageLength(page.len()));
+        }
+        for run in &self.runs {
+            let start = run.offset as usize;
+            page[start..start + run.data.len()].copy_from_slice(&run.data);
+        }
+        Ok(())
+    }
+
+    /// Whether the diff records no modifications.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of modified bytes recorded.
+    pub fn modified_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Size of the diff as transmitted: run headers plus run payloads.
+    ///
+    /// Each run costs 8 header bytes (offset + length) in the wire encoding.
+    pub fn encoded_bytes(&self) -> usize {
+        self.runs.len() * 8 + self.modified_bytes()
+    }
+
+    /// Merges `later` on top of `self`, producing a diff equivalent to
+    /// applying `self` then `later`.
+    pub fn merge(&self, later: &Diff) -> Diff {
+        // Materialise on a scratch page. Simple and obviously correct; diffs
+        // are merged rarely (only when collapsing write-notice chains).
+        let mut scratch = vec![0u8; PAGE_SIZE];
+        let mut mask = vec![false; PAGE_SIZE];
+        for diff in [self, later] {
+            for run in &diff.runs {
+                let start = run.offset as usize;
+                scratch[start..start + run.data.len()].copy_from_slice(&run.data);
+                mask[start..start + run.data.len()].iter_mut().for_each(|m| *m = true);
+            }
+        }
+        let mut runs = Vec::new();
+        let mut cursor = 0;
+        while cursor < PAGE_SIZE {
+            if mask[cursor] {
+                let start = cursor;
+                while cursor < PAGE_SIZE && mask[cursor] {
+                    cursor += 1;
+                }
+                runs.push(Run { offset: start as u32, data: scratch[start..cursor].to_vec() });
+            } else {
+                cursor += 1;
+            }
+        }
+        Diff { runs }
+    }
+}
+
+impl fmt::Display for Diff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "diff with {} runs, {} modified bytes", self.runs.len(), self.modified_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(edits: &[(usize, u8)]) -> Vec<u8> {
+        let mut p = vec![0u8; PAGE_SIZE];
+        for &(i, v) in edits {
+            p[i] = v;
+        }
+        p
+    }
+
+    #[test]
+    fn empty_diff_for_identical_pages() {
+        let twin = page_with(&[(3, 7)]);
+        let diff = Diff::create(&twin, &twin);
+        assert!(diff.is_empty());
+        assert_eq!(diff.encoded_bytes(), 0);
+    }
+
+    #[test]
+    fn diff_round_trips_onto_twin_copy() {
+        let twin = page_with(&[(100, 1)]);
+        let current = page_with(&[(100, 1), (200, 2), (201, 3), (4000, 9)]);
+        let diff = Diff::create(&twin, &current);
+        let mut rebuilt = twin.clone();
+        diff.apply(&mut rebuilt).unwrap();
+        assert_eq!(rebuilt, current);
+    }
+
+    #[test]
+    fn adjacent_words_coalesce_into_one_run() {
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut current = twin.clone();
+        current[16..32].copy_from_slice(&[5; 16]);
+        let diff = Diff::create(&twin, &current);
+        assert_eq!(diff.runs.len(), 1);
+        assert_eq!(diff.modified_bytes(), 16);
+        assert_eq!(diff.encoded_bytes(), 8 + 16);
+    }
+
+    #[test]
+    fn separated_modifications_produce_separate_runs() {
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut current = twin.clone();
+        current[0] = 1;
+        current[2048] = 1;
+        let diff = Diff::create(&twin, &current);
+        assert_eq!(diff.runs.len(), 2);
+        // Word granularity: each run is one 4-byte word even though only one
+        // byte changed.
+        assert_eq!(diff.modified_bytes(), 8);
+    }
+
+    #[test]
+    fn full_page_diff_covers_everything() {
+        let current = page_with(&[(1, 1), (4095, 255)]);
+        let diff = Diff::full_page(&current);
+        assert_eq!(diff.modified_bytes(), PAGE_SIZE);
+        let mut blank = vec![0u8; PAGE_SIZE];
+        diff.apply(&mut blank).unwrap();
+        assert_eq!(blank, current);
+    }
+
+    #[test]
+    fn apply_to_wrong_sized_buffer_fails() {
+        let diff = Diff::full_page(&vec![0u8; PAGE_SIZE]);
+        let mut short = vec![0u8; 100];
+        assert_eq!(diff.apply(&mut short), Err(MemError::BadPageLength(100)));
+    }
+
+    #[test]
+    fn merge_applies_later_on_top() {
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut a = twin.clone();
+        a[0..4].copy_from_slice(&[1, 1, 1, 1]);
+        a[100..104].copy_from_slice(&[2, 2, 2, 2]);
+        let mut b = twin.clone();
+        b[100..104].copy_from_slice(&[3, 3, 3, 3]);
+
+        let da = Diff::create(&twin, &a);
+        let db = Diff::create(&twin, &b);
+        let merged = da.merge(&db);
+
+        let mut result = twin.clone();
+        merged.apply(&mut result).unwrap();
+        assert_eq!(&result[0..4], &[1, 1, 1, 1]);
+        assert_eq!(&result[100..104], &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn display_mentions_runs() {
+        let twin = vec![0u8; PAGE_SIZE];
+        let current = page_with(&[(8, 1)]);
+        let d = Diff::create(&twin, &current);
+        assert!(d.to_string().contains("1 runs"));
+    }
+}

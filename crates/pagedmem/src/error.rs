@@ -1,0 +1,63 @@
+//! Error type for the paged-memory substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Addr, PageId};
+
+/// Errors produced by the paged-memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// An access touched an address that was never allocated in the shared
+    /// address space.
+    OutOfBounds {
+        /// The offending address.
+        addr: Addr,
+        /// The end of the allocated shared space.
+        limit: Addr,
+    },
+    /// A page frame was requested that is not mapped in this node's table.
+    Unmapped(PageId),
+    /// A diff was applied to a buffer that is not exactly one page long.
+    BadPageLength(usize),
+    /// The shared-heap allocator ran out of configured address space.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes remaining in the arena.
+        available: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, limit } => {
+                write!(f, "address {addr} is outside the shared space (limit {limit})")
+            }
+            MemError::Unmapped(page) => write!(f, "page {page} is not mapped"),
+            MemError::BadPageLength(len) => {
+                write!(f, "buffer of {len} bytes is not a whole page")
+            }
+            MemError::OutOfMemory { requested, available } => {
+                write!(f, "shared heap exhausted: requested {requested} bytes, {available} available")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = MemError::Unmapped(PageId(7));
+        assert!(err.to_string().contains("page 7"));
+        let err = MemError::OutOfMemory { requested: 10, available: 5 };
+        assert!(err.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,372 @@
+//! Per-node page tables.
+
+use std::collections::BTreeMap;
+
+use crate::{Addr, AddrRange, Diff, MemError, Page, PageId, Protection, PAGE_SIZE};
+
+/// One mapped page on a node: its contents, protection state, optional twin
+/// and dirty flag.
+#[derive(Debug, Clone)]
+pub struct PageFrame {
+    /// Current contents of the page.
+    pub page: Page,
+    /// Protection / validity state.
+    pub protection: Protection,
+    /// Twin saved when the page became writable (absent when twinning was
+    /// bypassed via `WRITE_ALL`).
+    pub twin: Option<Page>,
+    /// Whether the page has been write-enabled since the last flush; dirty
+    /// pages are diffed at release/barrier time.
+    pub dirty: bool,
+}
+
+impl PageFrame {
+    fn new(page: Page, protection: Protection) -> PageFrame {
+        PageFrame { page, protection, twin: None, dirty: false }
+    }
+}
+
+/// The result of checking whether an access may proceed without a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The access can proceed.
+    Hit,
+    /// The node has never mapped the page; a whole copy must be fetched.
+    Unmapped,
+    /// The local copy was invalidated; missing diffs must be fetched.
+    Invalid,
+    /// The page is valid but write-protected and the access is a write.
+    WriteProtected,
+}
+
+impl AccessOutcome {
+    /// Whether the access faults.
+    pub fn is_fault(self) -> bool {
+        self != AccessOutcome::Hit
+    }
+}
+
+/// A node's view of the shared address space.
+///
+/// The page table stores only pages the node has touched; pages materialise
+/// lazily, zero-filled, mirroring anonymous virtual memory. All bookkeeping
+/// needed by the DSM protocol (protection changes, twinning, diffing, the
+/// dirty list) lives here; *when* those operations happen is decided by the
+/// runtime crates.
+#[derive(Debug, Default)]
+pub struct PageTable {
+    frames: BTreeMap<PageId, PageFrame>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Number of pages currently mapped (the "pages in use" quantity the
+    /// SP/2 fault and mprotect costs depend on).
+    pub fn pages_in_use(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The protection state of `page` (`Unmapped` if the node never touched
+    /// it).
+    pub fn protection(&self, page: PageId) -> Protection {
+        self.frames.get(&page).map_or(Protection::Unmapped, |f| f.protection)
+    }
+
+    /// Checks whether an access may proceed without a fault.
+    pub fn check_access(&self, page: PageId, is_write: bool) -> AccessOutcome {
+        match self.protection(page) {
+            Protection::Unmapped => AccessOutcome::Unmapped,
+            Protection::Invalid => AccessOutcome::Invalid,
+            Protection::ReadOnly if is_write => AccessOutcome::WriteProtected,
+            Protection::ReadOnly | Protection::ReadWrite => AccessOutcome::Hit,
+        }
+    }
+
+    /// Maps `page` zero-filled with the given protection, replacing any
+    /// existing frame.
+    pub fn map_zeroed(&mut self, page: PageId, protection: Protection) -> &mut PageFrame {
+        self.frames.insert(page, PageFrame::new(Page::zeroed(), protection));
+        self.frames.get_mut(&page).expect("frame just inserted")
+    }
+
+    /// Installs a received copy of `page` with the given protection.
+    pub fn install(&mut self, page: PageId, contents: Page, protection: Protection) {
+        let frame = self.frames.entry(page).or_insert_with(|| PageFrame::new(Page::zeroed(), protection));
+        frame.page = contents;
+        frame.protection = protection;
+        frame.twin = None;
+        frame.dirty = false;
+    }
+
+    /// Returns the frame for `page`, mapping it zero-filled read-write if the
+    /// node never touched it (used by the node that "owns" the initial data).
+    pub fn frame_or_map(&mut self, page: PageId) -> &mut PageFrame {
+        self.frames.entry(page).or_insert_with(|| PageFrame::new(Page::zeroed(), Protection::ReadWrite))
+    }
+
+    /// Returns the frame for `page`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] if the page is not mapped.
+    pub fn frame(&self, page: PageId) -> Result<&PageFrame, MemError> {
+        self.frames.get(&page).ok_or(MemError::Unmapped(page))
+    }
+
+    /// Returns the mutable frame for `page`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] if the page is not mapped.
+    pub fn frame_mut(&mut self, page: PageId) -> Result<&mut PageFrame, MemError> {
+        self.frames.get_mut(&page).ok_or(MemError::Unmapped(page))
+    }
+
+    /// Whether `page` is mapped at all.
+    pub fn is_mapped(&self, page: PageId) -> bool {
+        self.frames.contains_key(&page)
+    }
+
+    /// Sets the protection of `page`, mapping it zero-filled if necessary.
+    pub fn set_protection(&mut self, page: PageId, protection: Protection) {
+        self.frame_or_map(page).protection = protection;
+    }
+
+    /// Marks `page` dirty and returns whether it was already dirty.
+    pub fn mark_dirty(&mut self, page: PageId) -> bool {
+        let frame = self.frame_or_map(page);
+        std::mem::replace(&mut frame.dirty, true)
+    }
+
+    /// The pages currently on the dirty list, in address order.
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        self.frames.iter().filter(|(_, f)| f.dirty).map(|(&id, _)| id).collect()
+    }
+
+    /// Clears the dirty flag of `page`.
+    pub fn clear_dirty(&mut self, page: PageId) {
+        if let Some(frame) = self.frames.get_mut(&page) {
+            frame.dirty = false;
+        }
+    }
+
+    /// Creates a twin (pre-modification copy) for `page` if it does not have
+    /// one. Returns whether a twin was created.
+    pub fn make_twin(&mut self, page: PageId) -> bool {
+        let frame = self.frame_or_map(page);
+        if frame.twin.is_none() {
+            frame.twin = Some(frame.page.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `page` currently has a twin.
+    pub fn has_twin(&self, page: PageId) -> bool {
+        self.frames.get(&page).is_some_and(|f| f.twin.is_some())
+    }
+
+    /// Discards the twin of `page`, if any.
+    pub fn drop_twin(&mut self, page: PageId) {
+        if let Some(frame) = self.frames.get_mut(&page) {
+            frame.twin = None;
+        }
+    }
+
+    /// Encodes the modifications made to `page` since its twin was created.
+    ///
+    /// Returns `None` if the page has no twin (nothing was recorded). The twin
+    /// is left in place; callers decide when to retire it.
+    pub fn create_diff(&self, page: PageId) -> Option<Diff> {
+        let frame = self.frames.get(&page)?;
+        let twin = frame.twin.as_ref()?;
+        Some(Diff::create(twin.as_slice(), frame.page.as_slice()))
+    }
+
+    /// Applies `diff` to the local copy of `page`, mapping it zero-filled if
+    /// the node never touched it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] from the diff application.
+    pub fn apply_diff(&mut self, page: PageId, diff: &Diff) -> Result<(), MemError> {
+        let frame = self.frame_or_map(page);
+        diff.apply(frame.page.as_mut_slice())?;
+        // If the page had a twin, keep the twin coherent with the idea that it
+        // records the pre-*local*-modification state: remote diffs must also
+        // land in the twin so they are not re-reported as local writes.
+        if let Some(twin) = frame.twin.as_mut() {
+            diff.apply(twin.as_mut_slice())?;
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` into `buf`.
+    ///
+    /// The caller is responsible for having resolved faults first; unmapped
+    /// pages read as zero.
+    pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        let mut cursor = addr;
+        let mut filled = 0;
+        while filled < buf.len() {
+            let page = cursor.page();
+            let offset = cursor.page_offset();
+            let chunk = (PAGE_SIZE - offset).min(buf.len() - filled);
+            match self.frames.get(&page) {
+                Some(frame) => {
+                    buf[filled..filled + chunk].copy_from_slice(&frame.page.as_slice()[offset..offset + chunk]);
+                }
+                None => buf[filled..filled + chunk].fill(0),
+            }
+            filled += chunk;
+            cursor = cursor.offset(chunk);
+        }
+    }
+
+    /// Writes `data` starting at `addr`, mapping pages as needed.
+    pub fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+        let mut cursor = addr;
+        let mut written = 0;
+        while written < data.len() {
+            let page = cursor.page();
+            let offset = cursor.page_offset();
+            let chunk = (PAGE_SIZE - offset).min(data.len() - written);
+            let frame = self.frame_or_map(page);
+            frame.page.as_mut_slice()[offset..offset + chunk]
+                .copy_from_slice(&data[written..written + chunk]);
+            written += chunk;
+            cursor = cursor.offset(chunk);
+        }
+    }
+
+    /// Copies the bytes of `range` out of the table (unmapped bytes read as
+    /// zero).
+    pub fn read_range(&self, range: AddrRange) -> Vec<u8> {
+        let mut buf = vec![0u8; range.len()];
+        self.read_bytes(range.start(), &mut buf);
+        buf
+    }
+
+    /// Iterator over all mapped page ids in address order.
+    pub fn mapped_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.frames.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_pages_fault() {
+        let table = PageTable::new();
+        assert_eq!(table.check_access(PageId(0), false), AccessOutcome::Unmapped);
+        assert_eq!(table.protection(PageId(0)), Protection::Unmapped);
+        assert_eq!(table.pages_in_use(), 0);
+    }
+
+    #[test]
+    fn protection_transitions_drive_access_outcomes() {
+        let mut table = PageTable::new();
+        table.map_zeroed(PageId(1), Protection::ReadOnly);
+        assert_eq!(table.check_access(PageId(1), false), AccessOutcome::Hit);
+        assert_eq!(table.check_access(PageId(1), true), AccessOutcome::WriteProtected);
+        table.set_protection(PageId(1), Protection::ReadWrite);
+        assert_eq!(table.check_access(PageId(1), true), AccessOutcome::Hit);
+        table.set_protection(PageId(1), Protection::Invalid);
+        assert_eq!(table.check_access(PageId(1), false), AccessOutcome::Invalid);
+        assert!(table.check_access(PageId(1), false).is_fault());
+    }
+
+    #[test]
+    fn twin_and_diff_capture_local_writes() {
+        let mut table = PageTable::new();
+        let page = PageId(3);
+        table.map_zeroed(page, Protection::ReadWrite);
+        assert!(table.make_twin(page));
+        assert!(!table.make_twin(page), "second make_twin is a no-op");
+        table.write_bytes(page.base().offset(8), &[7, 7, 7, 7]);
+        let diff = table.create_diff(page).expect("twin exists");
+        assert!(!diff.is_empty());
+        assert_eq!(diff.modified_bytes(), 4);
+
+        // Applying the diff on another node reproduces the write.
+        let mut other = PageTable::new();
+        other.apply_diff(page, &diff).unwrap();
+        let mut buf = [0u8; 4];
+        other.read_bytes(page.base().offset(8), &mut buf);
+        assert_eq!(buf, [7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn remote_diffs_do_not_reappear_as_local_modifications() {
+        let mut table = PageTable::new();
+        let page = PageId(0);
+        table.map_zeroed(page, Protection::ReadWrite);
+        table.make_twin(page);
+        // A remote diff arrives for a word this node did not write.
+        let mut remote_page = vec![0u8; PAGE_SIZE];
+        remote_page[100..104].copy_from_slice(&[5, 5, 5, 5]);
+        let remote = Diff::create(&vec![0u8; PAGE_SIZE], &remote_page);
+        table.apply_diff(page, &remote).unwrap();
+        // The local diff must be empty: this node made no writes of its own.
+        let local = table.create_diff(page).unwrap();
+        assert!(local.is_empty(), "remote modifications must not be re-diffed");
+    }
+
+    #[test]
+    fn dirty_list_tracks_write_enabled_pages() {
+        let mut table = PageTable::new();
+        assert!(!table.mark_dirty(PageId(2)));
+        assert!(table.mark_dirty(PageId(2)));
+        table.mark_dirty(PageId(5));
+        assert_eq!(table.dirty_pages(), vec![PageId(2), PageId(5)]);
+        table.clear_dirty(PageId(2));
+        assert_eq!(table.dirty_pages(), vec![PageId(5)]);
+    }
+
+    #[test]
+    fn byte_io_spans_page_boundaries() {
+        let mut table = PageTable::new();
+        let addr = Addr::new(PAGE_SIZE - 2);
+        table.write_bytes(addr, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        table.read_bytes(addr, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(table.pages_in_use(), 2);
+    }
+
+    #[test]
+    fn unmapped_reads_are_zero() {
+        let table = PageTable::new();
+        let bytes = table.read_range(AddrRange::new(Addr::new(100), 16));
+        assert_eq!(bytes, vec![0u8; 16]);
+    }
+
+    #[test]
+    fn install_replaces_contents_and_state() {
+        let mut table = PageTable::new();
+        let page = PageId(4);
+        table.map_zeroed(page, Protection::ReadWrite);
+        table.make_twin(page);
+        let mut incoming = Page::zeroed();
+        incoming.as_mut_slice()[0] = 42;
+        table.install(page, incoming, Protection::ReadOnly);
+        assert_eq!(table.protection(page), Protection::ReadOnly);
+        assert!(!table.has_twin(page));
+        let mut buf = [0u8; 1];
+        table.read_bytes(page.base(), &mut buf);
+        assert_eq!(buf[0], 42);
+    }
+
+    #[test]
+    fn frame_lookup_errors_on_unmapped() {
+        let table = PageTable::new();
+        assert!(matches!(table.frame(PageId(9)), Err(MemError::Unmapped(PageId(9)))));
+    }
+}

@@ -1,0 +1,282 @@
+//! Protocol event counters.
+//!
+//! Table 2 of the paper reports the percentage reduction in page faults
+//! ("segv"), messages and data achieved by the compiler-optimized system over
+//! base TreadMarks; Figures 5–7 are derived from the same counters plus the
+//! virtual clocks. Every crate in the workspace records its events through
+//! [`SharedStats`] so the benchmark harness can aggregate them per run.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_stats {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// Atomic event counters shared between a node's compute thread and
+        /// its protocol-server thread.
+        ///
+        /// Cloning a `SharedStats` produces another handle onto the same
+        /// counters; call [`snapshot`](Self::snapshot) to obtain a plain-value
+        /// copy for reporting.
+        #[derive(Debug, Clone, Default)]
+        pub struct SharedStats {
+            inner: Arc<StatsInner>,
+        }
+
+        #[derive(Debug, Default)]
+        struct StatsInner {
+            $($name: AtomicU64,)*
+        }
+
+        /// A plain-value copy of a [`SharedStats`] at one point in time.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub struct StatsSnapshot {
+            $($(#[$doc])* pub $name: u64,)*
+        }
+
+        impl SharedStats {
+            /// Creates a fresh set of zeroed counters.
+            pub fn new() -> Self {
+                SharedStats::default()
+            }
+
+            $(
+                $(#[$doc])*
+                ///
+                /// Increments the counter by `n`.
+                pub fn $name(&self, n: u64) {
+                    self.inner.$name.fetch_add(n, Ordering::Relaxed);
+                }
+            )*
+
+            /// Takes a plain-value snapshot of all counters.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.inner.$name.load(Ordering::Relaxed),)*
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Field-wise sum of two snapshots.
+            pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name + other.$name,)*
+                }
+            }
+        }
+    };
+}
+
+define_stats! {
+    /// Page faults taken through the DSM access check (the paper's "segv").
+    page_faults,
+    /// Memory protection (mprotect-equivalent) operations.
+    protection_ops,
+    /// Twins created by the write-detection mechanism.
+    twins_created,
+    /// Diffs created in response to local flushes or remote requests.
+    diffs_created,
+    /// Diffs applied to local pages.
+    diffs_applied,
+    /// Messages sent (requests, responses, data, synchronization).
+    messages_sent,
+    /// Payload bytes sent over the interconnect.
+    bytes_sent,
+    /// Whole pages fetched (first access to a page with no local copy).
+    full_page_fetches,
+    /// Write notices received and recorded.
+    write_notices,
+    /// Lock acquire operations performed by the application.
+    lock_acquires,
+    /// Barrier operations performed by the application.
+    barriers,
+    /// `Validate` calls issued by the compiler interface.
+    validates,
+    /// `Validate_w_sync` calls issued by the compiler interface.
+    validate_w_syncs,
+    /// `Push` exchanges replacing barriers.
+    pushes,
+    /// Broadcast sends (one logical message delivered to all other nodes).
+    broadcasts,
+}
+
+impl StatsSnapshot {
+    /// Total number of messages.
+    pub fn messages(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total payload bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Percentage reduction of `field(self)` relative to `field(base)`,
+    /// following the paper's formula `(base - opt) / base * 100`.
+    ///
+    /// Negative values mean the optimized run moved *more* of that quantity
+    /// (as happens for data in Jacobi, Table 2).
+    pub fn percent_reduction(base: u64, optimized: u64) -> f64 {
+        if base == 0 {
+            0.0
+        } else {
+            (base as f64 - optimized as f64) / base as f64 * 100.0
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "segv={} mprotect={} twins={} diffs={} msgs={} bytes={} locks={} barriers={}",
+            self.page_faults,
+            self.protection_ops,
+            self.twins_created,
+            self.diffs_created,
+            self.messages_sent,
+            self.bytes_sent,
+            self.lock_acquires,
+            self.barriers
+        )
+    }
+}
+
+/// Statistics for a whole cluster run: one snapshot per node.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterStats {
+    nodes: Vec<StatsSnapshot>,
+}
+
+impl ClusterStats {
+    /// Builds cluster statistics from per-node snapshots.
+    pub fn from_nodes(nodes: Vec<StatsSnapshot>) -> Self {
+        ClusterStats { nodes }
+    }
+
+    /// Number of nodes that contributed.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-node snapshots, indexed by processor id.
+    pub fn nodes(&self) -> &[StatsSnapshot] {
+        &self.nodes
+    }
+
+    /// Field-wise sum over all nodes.
+    pub fn total(&self) -> StatsSnapshot {
+        self.nodes
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Table 2 style comparison against a baseline run: percentage reduction
+    /// in page faults, messages and data bytes.
+    pub fn reduction_vs(&self, base: &ClusterStats) -> Reduction {
+        let opt = self.total();
+        let b = base.total();
+        Reduction {
+            page_faults_pct: StatsSnapshot::percent_reduction(b.page_faults, opt.page_faults),
+            messages_pct: StatsSnapshot::percent_reduction(b.messages_sent, opt.messages_sent),
+            data_pct: StatsSnapshot::percent_reduction(b.bytes_sent, opt.bytes_sent),
+        }
+    }
+}
+
+impl FromIterator<StatsSnapshot> for ClusterStats {
+    fn from_iter<I: IntoIterator<Item = StatsSnapshot>>(iter: I) -> Self {
+        ClusterStats { nodes: iter.into_iter().collect() }
+    }
+}
+
+/// Percentage reductions reported in Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reduction {
+    /// Reduction in page faults ("% segv").
+    pub page_faults_pct: f64,
+    /// Reduction in message count ("% msg").
+    pub messages_pct: f64,
+    /// Reduction in payload bytes ("% data"); negative means more data moved.
+    pub data_pct: f64,
+}
+
+impl fmt::Display for Reduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "segv {:+.1}%  msg {:+.1}%  data {:+.1}%",
+            self.page_faults_pct, self.messages_pct, self.data_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = SharedStats::new();
+        stats.page_faults(3);
+        stats.messages_sent(2);
+        stats.bytes_sent(100);
+        let snap = stats.snapshot();
+        assert_eq!(snap.page_faults, 3);
+        assert_eq!(snap.messages_sent, 2);
+        assert_eq!(snap.bytes_sent, 100);
+        assert_eq!(snap.twins_created, 0);
+    }
+
+    #[test]
+    fn clones_share_the_same_counters() {
+        let a = SharedStats::new();
+        let b = a.clone();
+        a.diffs_created(1);
+        b.diffs_created(2);
+        assert_eq!(a.snapshot().diffs_created, 3);
+    }
+
+    #[test]
+    fn snapshot_merge_is_fieldwise() {
+        let a = StatsSnapshot { page_faults: 1, bytes_sent: 10, ..Default::default() };
+        let b = StatsSnapshot { page_faults: 2, messages_sent: 5, ..Default::default() };
+        let m = a.merge(&b);
+        assert_eq!(m.page_faults, 3);
+        assert_eq!(m.bytes_sent, 10);
+        assert_eq!(m.messages_sent, 5);
+    }
+
+    #[test]
+    fn percent_reduction_matches_paper_formula() {
+        assert_eq!(StatsSnapshot::percent_reduction(100, 20), 80.0);
+        assert_eq!(StatsSnapshot::percent_reduction(100, 150), -50.0);
+        assert_eq!(StatsSnapshot::percent_reduction(0, 10), 0.0);
+    }
+
+    #[test]
+    fn cluster_total_and_reduction() {
+        let base = ClusterStats::from_nodes(vec![
+            StatsSnapshot { page_faults: 50, messages_sent: 100, bytes_sent: 1000, ..Default::default() },
+            StatsSnapshot { page_faults: 50, messages_sent: 100, bytes_sent: 1000, ..Default::default() },
+        ]);
+        let opt = ClusterStats::from_nodes(vec![
+            StatsSnapshot { page_faults: 0, messages_sent: 30, bytes_sent: 1500, ..Default::default() },
+            StatsSnapshot { page_faults: 0, messages_sent: 30, bytes_sent: 1500, ..Default::default() },
+        ]);
+        let r = opt.reduction_vs(&base);
+        assert_eq!(r.page_faults_pct, 100.0);
+        assert_eq!(r.messages_pct, 70.0);
+        assert_eq!(r.data_pct, -50.0);
+    }
+
+    #[test]
+    fn cluster_from_iterator() {
+        let c: ClusterStats = (0..4).map(|_| StatsSnapshot::default()).collect();
+        assert_eq!(c.node_count(), 4);
+    }
+}

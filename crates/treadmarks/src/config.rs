@@ -1,0 +1,72 @@
+//! Runtime configuration.
+
+use sp2model::CostModel;
+
+/// Configuration of a DSM run.
+///
+/// ```
+/// use treadmarks::DsmConfig;
+/// use sp2model::CostModel;
+///
+/// let config = DsmConfig::new(8).with_cost_model(CostModel::sp2());
+/// assert_eq!(config.nprocs, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DsmConfig {
+    /// Number of processors (nodes) to simulate.
+    pub nprocs: usize,
+    /// Cost model used for virtual-time accounting.
+    pub cost_model: CostModel,
+    /// Capacity of the shared heap in bytes.
+    pub heap_capacity: usize,
+}
+
+impl DsmConfig {
+    /// A configuration for `nprocs` processors with the SP/2 cost model and
+    /// the default heap size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero.
+    pub fn new(nprocs: usize) -> DsmConfig {
+        assert!(nprocs > 0, "a DSM run needs at least one processor");
+        DsmConfig {
+            nprocs,
+            cost_model: CostModel::sp2(),
+            heap_capacity: pagedmem::SharedAlloc::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> DsmConfig {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Replaces the shared-heap capacity.
+    pub fn with_heap_capacity(mut self, bytes: usize) -> DsmConfig {
+        self.heap_capacity = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_override_defaults() {
+        let c = DsmConfig::new(4)
+            .with_cost_model(CostModel::free())
+            .with_heap_capacity(1 << 20);
+        assert_eq!(c.nprocs, 4);
+        assert_eq!(c.heap_capacity, 1 << 20);
+        assert_eq!(c.cost_model, CostModel::free());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_processors_is_rejected() {
+        let _ = DsmConfig::new(0);
+    }
+}

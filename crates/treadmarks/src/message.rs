@@ -1,0 +1,227 @@
+//! Protocol messages exchanged between nodes.
+
+use pagedmem::{AddrRange, Diff, PageId};
+
+use crate::notice::WriteNotice;
+use crate::types::{Interval, LockId, ProcId, Vt};
+
+/// A diff together with the write notice it satisfies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRecord {
+    /// The page the diff applies to.
+    pub page: PageId,
+    /// The processor that created the modifications.
+    pub proc: ProcId,
+    /// The interval the modifications belong to.
+    pub interval: Interval,
+    /// The encoded modifications.
+    pub diff: Diff,
+}
+
+impl DiffRecord {
+    /// Approximate wire size of the record.
+    pub fn wire_bytes(&self) -> usize {
+        WriteNotice::WIRE_BYTES + self.diff.encoded_bytes()
+    }
+}
+
+/// A `Validate_w_sync` request piggy-backed on a synchronization operation:
+/// the pages the requester wants plus the vector timestamp that tells
+/// providers which modifications the requester is still missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncFetchRequest {
+    /// The requesting processor.
+    pub proc: ProcId,
+    /// The requester's vector timestamp at the time of the request.
+    pub vt: Vt,
+    /// The pages of the requested sections.
+    pub pages: Vec<PageId>,
+}
+
+impl SyncFetchRequest {
+    /// Approximate wire size of the request.
+    pub fn wire_bytes(&self) -> usize {
+        4 + self.vt.wire_bytes() + self.pages.len() * 4
+    }
+}
+
+/// The messages of the DSM protocol.
+///
+/// Unsolicited messages (lock and diff requests, forwarded requests) travel
+/// on the [`Port::Request`](msgnet::Port::Request) port and are handled by
+/// each node's protocol-server thread; everything a compute thread waits for
+/// travels on the reply port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmkMessage {
+    /// Acquirer -> lock manager: request the lock.
+    LockAcquireRequest {
+        /// The lock being acquired.
+        lock: LockId,
+        /// The acquiring processor.
+        requester: ProcId,
+        /// The acquirer's vector timestamp.
+        vt: Vt,
+        /// Pages piggy-backed by `Validate_w_sync`, if any.
+        sync_pages: Vec<PageId>,
+    },
+    /// Lock manager -> last holder: forwarded acquire request.
+    LockForward {
+        /// The lock being acquired.
+        lock: LockId,
+        /// The acquiring processor.
+        requester: ProcId,
+        /// The acquirer's vector timestamp.
+        vt: Vt,
+        /// Pages piggy-backed by `Validate_w_sync`, if any.
+        sync_pages: Vec<PageId>,
+    },
+    /// Last holder (or manager) -> acquirer: the lock grant, carrying the
+    /// write notices the acquirer is missing and any piggy-backed diffs.
+    LockGrant {
+        /// The granted lock.
+        lock: LockId,
+        /// The granter's vector timestamp.
+        granter_vt: Vt,
+        /// Write notices the acquirer has not seen.
+        notices: Vec<WriteNotice>,
+        /// Diffs for piggy-backed `Validate_w_sync` pages.
+        piggyback: Vec<DiffRecord>,
+    },
+    /// Client -> barrier master: barrier arrival.
+    BarrierArrival {
+        /// The arriving processor.
+        proc: ProcId,
+        /// The arriver's vector timestamp (after flushing its interval).
+        vt: Vt,
+        /// Write notices the master may not have seen.
+        notices: Vec<WriteNotice>,
+        /// The arriver's piggy-backed `Validate_w_sync` request, if any.
+        sync_request: Option<SyncFetchRequest>,
+    },
+    /// Barrier master -> client: barrier departure.
+    BarrierDeparture {
+        /// The merged vector timestamp of all processors.
+        global_vt: Vt,
+        /// Write notices this client has not seen.
+        notices: Vec<WriteNotice>,
+        /// All piggy-backed fetch requests, to be answered by whoever holds
+        /// the corresponding diffs.
+        sync_requests: Vec<SyncFetchRequest>,
+    },
+    /// Faulting processor -> writer: request for diffs.
+    DiffRequest {
+        /// Request id used to match the response.
+        req_id: u64,
+        /// The requesting processor.
+        requester: ProcId,
+        /// Pages and the intervals whose diffs are needed.
+        wants: Vec<(PageId, Vec<Interval>)>,
+    },
+    /// Writer -> faulting processor: the requested diffs, aggregated into a
+    /// single message.
+    DiffResponse {
+        /// Matches the request's id.
+        req_id: u64,
+        /// The requested diffs.
+        diffs: Vec<DiffRecord>,
+    },
+    /// Provider -> requester after a synchronization operation: diffs for a
+    /// piggy-backed `Validate_w_sync` request.
+    SyncDiffs {
+        /// The providing processor.
+        from: ProcId,
+        /// The diffs the provider holds for the requested pages.
+        diffs: Vec<DiffRecord>,
+    },
+    /// Point-to-point data exchange replacing a barrier (`Push`).
+    PushData {
+        /// The sending processor.
+        from: ProcId,
+        /// Address ranges and their contents, received in place.
+        chunks: Vec<(AddrRange, Vec<u8>)>,
+    },
+    /// Sent by the harness to stop a node's protocol-server thread.
+    Shutdown,
+}
+
+impl TmkMessage {
+    /// Approximate payload size used for byte accounting and latency.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            TmkMessage::LockAcquireRequest { vt, sync_pages, .. }
+            | TmkMessage::LockForward { vt, sync_pages, .. } => {
+                8 + vt.wire_bytes() + sync_pages.len() * 4
+            }
+            TmkMessage::LockGrant { granter_vt, notices, piggyback, .. } => {
+                4 + granter_vt.wire_bytes()
+                    + notices.len() * WriteNotice::WIRE_BYTES
+                    + piggyback.iter().map(DiffRecord::wire_bytes).sum::<usize>()
+            }
+            TmkMessage::BarrierArrival { vt, notices, sync_request, .. } => {
+                4 + vt.wire_bytes()
+                    + notices.len() * WriteNotice::WIRE_BYTES
+                    + sync_request.as_ref().map_or(0, SyncFetchRequest::wire_bytes)
+            }
+            TmkMessage::BarrierDeparture { global_vt, notices, sync_requests } => {
+                global_vt.wire_bytes()
+                    + notices.len() * WriteNotice::WIRE_BYTES
+                    + sync_requests.iter().map(SyncFetchRequest::wire_bytes).sum::<usize>()
+            }
+            TmkMessage::DiffRequest { wants, .. } => {
+                12 + wants.iter().map(|(_, intervals)| 4 + 4 * intervals.len()).sum::<usize>()
+            }
+            TmkMessage::DiffResponse { diffs, .. } => {
+                8 + diffs.iter().map(DiffRecord::wire_bytes).sum::<usize>()
+            }
+            TmkMessage::SyncDiffs { diffs, .. } => {
+                4 + diffs.iter().map(DiffRecord::wire_bytes).sum::<usize>()
+            }
+            TmkMessage::PushData { chunks, .. } => {
+                4 + chunks.iter().map(|(_, data)| 16 + data.len()).sum::<usize>()
+            }
+            TmkMessage::Shutdown => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagedmem::PAGE_SIZE;
+
+    #[test]
+    fn wire_bytes_scale_with_content() {
+        let small = TmkMessage::DiffRequest { req_id: 1, requester: 0, wants: vec![(PageId(1), vec![1])] };
+        let large = TmkMessage::DiffRequest {
+            req_id: 1,
+            requester: 0,
+            wants: (0..100).map(|i| (PageId(i), vec![1, 2, 3])).collect(),
+        };
+        assert!(large.wire_bytes() > small.wire_bytes());
+        assert_eq!(TmkMessage::Shutdown.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn diff_record_wire_bytes_include_diff_payload() {
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut cur = twin.clone();
+        cur[0..64].fill(3);
+        let record = DiffRecord { page: PageId(0), proc: 1, interval: 2, diff: Diff::create(&twin, &cur) };
+        assert!(record.wire_bytes() >= 64);
+        let msg = TmkMessage::DiffResponse { req_id: 7, diffs: vec![record] };
+        assert!(msg.wire_bytes() >= 64);
+    }
+
+    #[test]
+    fn barrier_messages_account_for_notices_and_requests() {
+        let vt = Vt::new(4);
+        let arrival = TmkMessage::BarrierArrival {
+            proc: 1,
+            vt: vt.clone(),
+            notices: vec![WriteNotice { page: PageId(3), proc: 1, interval: 1 }],
+            sync_request: Some(SyncFetchRequest { proc: 1, vt: vt.clone(), pages: vec![PageId(3)] }),
+        };
+        let bare = TmkMessage::BarrierArrival { proc: 1, vt, notices: vec![], sync_request: None };
+        assert!(arrival.wire_bytes() > bare.wire_bytes());
+    }
+}

@@ -1,0 +1,143 @@
+//! Write notices and the per-processor notice log.
+
+use std::collections::BTreeMap;
+
+use pagedmem::PageId;
+
+use crate::types::{Interval, ProcId, Vt};
+
+/// A write notice: "processor `proc` modified `page` during `interval`".
+///
+/// Write notices are exchanged at acquires; receiving one invalidates the
+/// local copy of the page until the corresponding diff has been fetched and
+/// applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WriteNotice {
+    /// The modified page.
+    pub page: PageId,
+    /// The processor that performed the modification.
+    pub proc: ProcId,
+    /// The interval in which the modification happened.
+    pub interval: Interval,
+}
+
+impl WriteNotice {
+    /// Approximate wire size in bytes.
+    pub const WIRE_BYTES: usize = 12;
+}
+
+/// Everything a processor knows about modifications in the system: for each
+/// processor, the pages modified in each of its intervals.
+///
+/// The log is append-only and is consulted to answer "which notices does a
+/// processor with vector timestamp `vt` still need?" — the question asked at
+/// every lock grant and barrier departure.
+#[derive(Debug, Clone, Default)]
+pub struct NoticeLog {
+    /// `per_proc[p]` maps interval -> pages modified by `p` in that interval.
+    per_proc: Vec<BTreeMap<Interval, Vec<PageId>>>,
+}
+
+impl NoticeLog {
+    /// An empty log for `nprocs` processors.
+    pub fn new(nprocs: usize) -> NoticeLog {
+        NoticeLog { per_proc: vec![BTreeMap::new(); nprocs] }
+    }
+
+    /// Records a batch of notices for `(proc, interval)`. Duplicate
+    /// insertions are ignored (the first recording wins).
+    pub fn record(&mut self, proc: ProcId, interval: Interval, pages: Vec<PageId>) -> bool {
+        let entry = self.per_proc[proc].entry(interval);
+        match entry {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(pages);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Whether the log already contains `(proc, interval)`.
+    pub fn contains(&self, proc: ProcId, interval: Interval) -> bool {
+        self.per_proc[proc].contains_key(&interval)
+    }
+
+    /// All notices with `interval > vt[proc]` — exactly what a processor with
+    /// timestamp `vt` has not yet seen.
+    pub fn notices_after(&self, vt: &Vt) -> Vec<WriteNotice> {
+        let mut out = Vec::new();
+        for (proc, intervals) in self.per_proc.iter().enumerate() {
+            let seen = vt.get(proc);
+            for (&interval, pages) in intervals.range(seen + 1..) {
+                for &page in pages {
+                    out.push(WriteNotice { page, proc, interval });
+                }
+            }
+        }
+        out
+    }
+
+    /// The latest interval recorded for each processor, as a vector
+    /// timestamp.
+    pub fn horizon(&self, nprocs: usize) -> Vt {
+        let mut vt = Vt::new(nprocs);
+        for (proc, intervals) in self.per_proc.iter().enumerate() {
+            if let Some((&latest, _)) = intervals.iter().next_back() {
+                vt.advance(proc, latest);
+            }
+        }
+        vt
+    }
+
+    /// Total number of `(proc, interval)` records.
+    pub fn interval_count(&self) -> usize {
+        self.per_proc.iter().map(BTreeMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query_notices() {
+        let mut log = NoticeLog::new(2);
+        assert!(log.record(0, 1, vec![PageId(5), PageId(6)]));
+        assert!(!log.record(0, 1, vec![PageId(9)]), "duplicate records are ignored");
+        log.record(1, 1, vec![PageId(7)]);
+        log.record(0, 2, vec![PageId(5)]);
+
+        assert!(log.contains(0, 1));
+        assert!(!log.contains(1, 2));
+        assert_eq!(log.interval_count(), 3);
+
+        // A processor that has seen everything of proc 0 up to interval 1.
+        let mut vt = Vt::new(2);
+        vt.advance(0, 1);
+        let missing = log.notices_after(&vt);
+        assert_eq!(missing.len(), 2);
+        assert!(missing.contains(&WriteNotice { page: PageId(5), proc: 0, interval: 2 }));
+        assert!(missing.contains(&WriteNotice { page: PageId(7), proc: 1, interval: 1 }));
+    }
+
+    #[test]
+    fn horizon_reports_latest_intervals() {
+        let mut log = NoticeLog::new(3);
+        log.record(0, 4, vec![PageId(1)]);
+        log.record(0, 2, vec![PageId(1)]);
+        log.record(2, 1, vec![PageId(3)]);
+        let h = log.horizon(3);
+        assert_eq!(h.get(0), 4);
+        assert_eq!(h.get(1), 0);
+        assert_eq!(h.get(2), 1);
+    }
+
+    #[test]
+    fn notices_after_full_knowledge_is_empty() {
+        let mut log = NoticeLog::new(2);
+        log.record(0, 1, vec![PageId(1)]);
+        log.record(1, 3, vec![PageId(2)]);
+        let full = log.horizon(2);
+        assert!(log.notices_after(&full).is_empty());
+    }
+}

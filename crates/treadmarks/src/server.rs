@@ -1,0 +1,202 @@
+//! The per-node protocol-server thread.
+//!
+//! TreadMarks services remote lock, page and diff requests in an interrupt
+//! handler. In this reproduction each node runs a dedicated server thread
+//! that drains the node's request port and answers from the shared protocol
+//! state. Server handlers only touch local state and never block on remote
+//! operations, which keeps the system free of distributed deadlock.
+
+use std::sync::Arc;
+
+use msgnet::{Endpoint, NodeId, Port};
+use pagedmem::PageId;
+use sp2model::VirtualTime;
+
+use crate::message::{DiffRecord, TmkMessage};
+use crate::state::{full_page_diff, DiffEntry, NodeShared, PendingLockRequest, ProtoState};
+use crate::types::{Interval, LockId, ProcId, Vt};
+
+/// Runs a node's protocol server until a [`TmkMessage::Shutdown`] arrives.
+pub(crate) fn server_loop(endpoint: Arc<Endpoint<TmkMessage>>, shared: Arc<NodeShared>) {
+    loop {
+        let envelope = match endpoint.recv(Port::Request) {
+            Ok(envelope) => envelope,
+            // All peers (and the harness) are gone; nothing left to serve.
+            Err(_) => return,
+        };
+        let arrived_at = envelope.arrives_at;
+        match envelope.payload {
+            TmkMessage::Shutdown => return,
+            TmkMessage::DiffRequest { req_id, requester, wants } => {
+                handle_diff_request(&endpoint, &shared, req_id, requester, &wants, arrived_at);
+            }
+            TmkMessage::LockAcquireRequest { lock, requester, vt, sync_pages } => {
+                handle_lock_acquire(&endpoint, &shared, lock, requester, vt, sync_pages, arrived_at);
+            }
+            TmkMessage::LockForward { lock, requester, vt, sync_pages } => {
+                handle_lock_forward(&endpoint, &shared, lock, requester, vt, sync_pages, arrived_at);
+            }
+            // All other message kinds travel on the reply port.
+            other => unreachable!("unexpected message on request port: {other:?}"),
+        }
+    }
+}
+
+/// Answers a diff request: for every `(page, interval)` the requester needs,
+/// look up (or materialise) the diff and aggregate everything into a single
+/// response message.
+fn handle_diff_request(
+    endpoint: &Endpoint<TmkMessage>,
+    shared: &NodeShared,
+    req_id: u64,
+    requester: ProcId,
+    wants: &[(PageId, Vec<Interval>)],
+    arrived_at: VirtualTime,
+) {
+    let proto = shared.proto.lock();
+    let table = shared.table.lock();
+    let mut diffs = Vec::new();
+    let mut materialised_pages = 0;
+    for (page, intervals) in wants {
+        for &interval in intervals {
+            let diff = match proto.diff_cache.get(&(*page, interval)) {
+                Some(DiffEntry::Delta(diff)) => diff.clone(),
+                Some(DiffEntry::FullPage) => {
+                    materialised_pages += 1;
+                    full_page_diff(&table, *page)
+                }
+                // The diff is gone or was never recorded (e.g. a notice
+                // relayed for an interval we already folded away); fall back
+                // to the current page contents, which is always at least as
+                // new as the requested interval.
+                None => {
+                    materialised_pages += 1;
+                    full_page_diff(&table, *page)
+                }
+            };
+            diffs.push(DiffRecord { page: *page, proc: proto.me, interval, diff });
+        }
+    }
+    drop(table);
+    drop(proto);
+
+    let reply = TmkMessage::DiffResponse { req_id, diffs };
+    let bytes = reply.wire_bytes();
+    let service = shared.cost.request_service_cost() + shared.cost.diff_create_cost(materialised_pages);
+    endpoint.send(NodeId(requester), Port::Reply, reply, bytes, arrived_at + service, true);
+}
+
+/// Handles a lock-acquire request in the manager role: grant directly when
+/// the lock has no other holder, otherwise forward the request to the last
+/// holder, which will reply to the requester directly (the TreadMarks
+/// three-hop protocol).
+fn handle_lock_acquire(
+    endpoint: &Endpoint<TmkMessage>,
+    shared: &NodeShared,
+    lock: LockId,
+    requester: ProcId,
+    vt: Vt,
+    sync_pages: Vec<PageId>,
+    arrived_at: VirtualTime,
+) {
+    let mut proto = shared.proto.lock();
+    debug_assert_eq!(ProtoState::lock_manager(lock, proto.nprocs), proto.me, "lock request routed to the wrong manager");
+    let me = proto.me;
+    let last_holder = proto.lock_last_holder.get(&lock).copied();
+    proto.lock_last_holder.insert(lock, requester);
+    drop(proto);
+    match last_holder {
+        // First acquisition, or re-acquisition by the last holder: no new
+        // happens-before edge to transfer, the manager grants directly.
+        None => send_grant(endpoint, shared, lock, requester, &vt, &sync_pages, arrived_at, false),
+        Some(holder) if holder == requester => {
+            send_grant(endpoint, shared, lock, requester, &vt, &sync_pages, arrived_at, false);
+        }
+        // The manager itself was the last holder; behave like any holder.
+        Some(holder) if holder == me => {
+            handle_lock_forward(endpoint, shared, lock, requester, vt, sync_pages, arrived_at);
+        }
+        // Forward to the last holder, which replies to the requester
+        // directly (the TreadMarks three-hop protocol).
+        Some(holder) => {
+            forward_lock_request(endpoint, shared, holder, lock, requester, vt, sync_pages, arrived_at);
+        }
+    }
+}
+
+/// Handles a forwarded acquire request at the last holder: grant immediately
+/// if the lock has been released, otherwise queue the request until the
+/// application releases the lock.
+fn handle_lock_forward(
+    endpoint: &Endpoint<TmkMessage>,
+    shared: &NodeShared,
+    lock: LockId,
+    requester: ProcId,
+    vt: Vt,
+    sync_pages: Vec<PageId>,
+    arrived_at: VirtualTime,
+) {
+    let mut proto = shared.proto.lock();
+    if proto.held_locks.contains(&lock) {
+        proto
+            .pending_lock_requests
+            .entry(lock)
+            .or_default()
+            .push(PendingLockRequest { requester, requester_vt: vt, sync_pages, arrived_at });
+        return;
+    }
+    drop(proto);
+    send_grant(endpoint, shared, lock, requester, &vt, &sync_pages, arrived_at, true);
+}
+
+/// Builds and sends a lock grant to `requester`, carrying the write notices
+/// it is missing and any piggy-backed diffs for a `Validate_w_sync`.
+///
+/// `with_notices` distinguishes grants that transfer a happens-before edge
+/// (from a previous holder) from first-acquisition grants by the manager.
+fn send_grant(
+    endpoint: &Endpoint<TmkMessage>,
+    shared: &NodeShared,
+    lock: LockId,
+    requester: ProcId,
+    requester_vt: &Vt,
+    sync_pages: &[PageId],
+    arrived_at: VirtualTime,
+    with_notices: bool,
+) {
+    let proto = shared.proto.lock();
+    let table = shared.table.lock();
+    let (notices, piggyback) = if with_notices {
+        (
+            proto.notices_for(requester_vt),
+            proto.diffs_for_pages_after(sync_pages, requester_vt, &table),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let granter_vt = if with_notices { proto.vt.clone() } else { requester_vt.clone() };
+    drop(table);
+    drop(proto);
+
+    let grant = TmkMessage::LockGrant { lock, granter_vt, notices, piggyback };
+    let bytes = grant.wire_bytes();
+    let service = shared.cost.lock_manager_cost();
+    endpoint.send(NodeId(requester), Port::Reply, grant, bytes, arrived_at + service, true);
+}
+
+/// Forwards a lock-acquire request from the manager to the last holder.
+pub(crate) fn forward_lock_request(
+    endpoint: &Endpoint<TmkMessage>,
+    shared: &NodeShared,
+    holder: ProcId,
+    lock: LockId,
+    requester: ProcId,
+    vt: Vt,
+    sync_pages: Vec<PageId>,
+    arrived_at: VirtualTime,
+) {
+    let forward = TmkMessage::LockForward { lock, requester, vt, sync_pages };
+    let bytes = forward.wire_bytes();
+    let service = shared.cost.lock_manager_cost();
+    endpoint.send(NodeId(holder), Port::Request, forward, bytes, arrived_at + service, true);
+}

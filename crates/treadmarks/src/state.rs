@@ -1,0 +1,207 @@
+//! Shared per-node protocol state.
+//!
+//! Each node's state is shared between its compute thread (the application
+//! plus the fault handler) and its protocol-server thread (the stand-in for
+//! the interrupt handler that services remote requests). Both sides take the
+//! [`parking_lot::Mutex`]es for short, local-only critical sections — a
+//! server handler never blocks on a remote operation, which is what keeps the
+//! system deadlock-free.
+
+use std::collections::{HashMap, HashSet};
+
+use pagedmem::{Diff, PageId, PageTable};
+use parking_lot::Mutex;
+use sp2model::{CostModel, SharedStats, VirtualTime};
+
+use crate::message::DiffRecord;
+use crate::notice::NoticeLog;
+use crate::types::{Interval, LockId, ProcId, Vt};
+
+/// How a node can reproduce the modifications of one of its own intervals.
+#[derive(Debug, Clone)]
+pub(crate) enum DiffEntry {
+    /// An ordinary twin-vs-page diff created when the interval was flushed.
+    Delta(Diff),
+    /// The page was written under `WRITE_ALL`/`READ&WRITE_ALL`: no twin was
+    /// kept, so requests are answered with a copy of the whole page (which is
+    /// correct because the compiler asserted the entire page is overwritten).
+    FullPage,
+}
+
+/// A lock-acquire request queued at the current holder until it releases.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingLockRequest {
+    pub requester: ProcId,
+    pub requester_vt: Vt,
+    pub sync_pages: Vec<PageId>,
+    pub arrived_at: VirtualTime,
+}
+
+/// Protocol bookkeeping for one node.
+#[derive(Debug)]
+pub(crate) struct ProtoState {
+    /// This node's id.
+    pub me: ProcId,
+    /// Number of processors.
+    pub nprocs: usize,
+    /// The interval currently being accumulated (1-based; `vt[me]` is the
+    /// last *flushed* interval).
+    pub current_interval: Interval,
+    /// This node's vector timestamp.
+    pub vt: Vt,
+    /// Everything this node knows about modifications in the system.
+    pub notice_log: NoticeLog,
+    /// Per page, the write notices whose diffs have not yet been applied
+    /// locally.
+    pub page_missing: HashMap<PageId, Vec<(ProcId, Interval)>>,
+    /// Diffs this node created, by page and interval.
+    pub diff_cache: HashMap<(PageId, Interval), DiffEntry>,
+    /// Pages of the current interval written under `WRITE_ALL` (no twin).
+    pub write_all_pages: HashSet<PageId>,
+    /// The global vector timestamp distributed at the last barrier departure.
+    pub last_global_vt: Vt,
+    /// Manager role: the last processor each managed lock was granted to.
+    pub lock_last_holder: HashMap<LockId, ProcId>,
+    /// Locks currently held by this node's application.
+    pub held_locks: HashSet<LockId>,
+    /// Forwarded acquire requests waiting for this node to release the lock.
+    pub pending_lock_requests: HashMap<LockId, Vec<PendingLockRequest>>,
+}
+
+impl ProtoState {
+    pub(crate) fn new(me: ProcId, nprocs: usize) -> ProtoState {
+        ProtoState {
+            me,
+            nprocs,
+            current_interval: 1,
+            vt: Vt::new(nprocs),
+            notice_log: NoticeLog::new(nprocs),
+            page_missing: HashMap::new(),
+            diff_cache: HashMap::new(),
+            write_all_pages: HashSet::new(),
+            last_global_vt: Vt::new(nprocs),
+            lock_last_holder: HashMap::new(),
+            held_locks: HashSet::new(),
+            pending_lock_requests: HashMap::new(),
+        }
+    }
+
+    /// The manager of `lock`: locks are statically distributed round-robin.
+    pub(crate) fn lock_manager(lock: LockId, nprocs: usize) -> ProcId {
+        lock as usize % nprocs
+    }
+
+    /// Collects the diff records this node holds for `pages`, restricted to
+    /// intervals newer than `vt`'s view of this node. Used for lock-grant and
+    /// barrier piggy-backing (`Validate_w_sync`).
+    pub(crate) fn diffs_for_pages_after(&self, pages: &[PageId], vt: &Vt, table: &PageTable) -> Vec<DiffRecord> {
+        let seen = vt.get(self.me);
+        let mut out = Vec::new();
+        for &page in pages {
+            // Intervals this node created for the page and the requester has
+            // not yet incorporated.
+            for ((p, interval), entry) in self.diff_cache.iter().filter(|((p, i), _)| *p == page && *i > seen) {
+                let diff = match entry {
+                    DiffEntry::Delta(diff) => diff.clone(),
+                    DiffEntry::FullPage => full_page_diff(table, *p),
+                };
+                out.push(DiffRecord { page: *p, proc: self.me, interval: *interval, diff });
+            }
+        }
+        out.sort_by_key(|r| (r.page, r.interval));
+        out
+    }
+
+    /// The record of the notices this node needs to send a processor whose
+    /// timestamp is `vt`.
+    pub(crate) fn notices_for(&self, vt: &Vt) -> Vec<crate::notice::WriteNotice> {
+        self.notice_log.notices_after(vt)
+    }
+}
+
+/// Creates a full-page diff from the node's current copy of `page`.
+pub(crate) fn full_page_diff(table: &PageTable, page: PageId) -> Diff {
+    match table.frame(page) {
+        Ok(frame) => Diff::full_page(frame.page.as_slice()),
+        // The page was never materialised locally (it is still all zeros).
+        Err(_) => Diff::full_page(&vec![0u8; pagedmem::PAGE_SIZE]),
+    }
+}
+
+/// Everything shared between a node's compute thread and its protocol-server
+/// thread.
+#[derive(Debug)]
+pub(crate) struct NodeShared {
+    pub table: Mutex<PageTable>,
+    pub proto: Mutex<ProtoState>,
+    pub stats: SharedStats,
+    pub cost: CostModel,
+}
+
+impl NodeShared {
+    pub(crate) fn new(me: ProcId, nprocs: usize, cost: CostModel, stats: SharedStats) -> NodeShared {
+        NodeShared {
+            table: Mutex::new(PageTable::new()),
+            proto: Mutex::new(ProtoState::new(me, nprocs)),
+            stats,
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagedmem::PAGE_SIZE;
+
+    #[test]
+    fn lock_managers_are_distributed_round_robin() {
+        assert_eq!(ProtoState::lock_manager(0, 4), 0);
+        assert_eq!(ProtoState::lock_manager(5, 4), 1);
+        assert_eq!(ProtoState::lock_manager(7, 8), 7);
+    }
+
+    #[test]
+    fn diffs_for_pages_after_filters_by_requester_timestamp() {
+        let mut proto = ProtoState::new(0, 2);
+        let table = PageTable::new();
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        proto.diff_cache.insert((PageId(3), 1), DiffEntry::Delta(Diff::create(&twin, &cur)));
+        proto.diff_cache.insert((PageId(3), 2), DiffEntry::Delta(Diff::create(&twin, &cur)));
+
+        // A requester that has already seen interval 1 of proc 0.
+        let mut vt = Vt::new(2);
+        vt.advance(0, 1);
+        let records = proto.diffs_for_pages_after(&[PageId(3)], &vt, &table);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].interval, 2);
+
+        // A requester that has seen nothing gets both.
+        let records = proto.diffs_for_pages_after(&[PageId(3)], &Vt::new(2), &table);
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn full_page_entries_materialise_from_the_current_copy() {
+        let mut proto = ProtoState::new(1, 2);
+        let mut table = PageTable::new();
+        table.write_bytes(PageId(7).base(), &[9, 9, 9, 9]);
+        proto.diff_cache.insert((PageId(7), 1), DiffEntry::FullPage);
+        let records = proto.diffs_for_pages_after(&[PageId(7)], &Vt::new(2), &table);
+        assert_eq!(records.len(), 1);
+        let mut page = vec![0u8; PAGE_SIZE];
+        records[0].diff.apply(&mut page).unwrap();
+        assert_eq!(&page[0..4], &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn full_page_diff_of_untouched_page_is_zero_filled() {
+        let table = PageTable::new();
+        let diff = full_page_diff(&table, PageId(11));
+        let mut page = vec![1u8; PAGE_SIZE];
+        diff.apply(&mut page).unwrap();
+        assert!(page.iter().all(|&b| b == 0));
+    }
+}

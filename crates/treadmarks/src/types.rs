@@ -1,0 +1,169 @@
+//! Core protocol types: processor ids, intervals, locks and vector
+//! timestamps.
+
+use std::fmt;
+
+/// A processor (node) index, `0..nprocs`.
+pub type ProcId = usize;
+
+/// An interval number.
+///
+/// A processor's execution is divided into intervals by its release
+/// operations; interval numbers increase monotonically per processor and
+/// interval 0 is "before any release".
+pub type Interval = u32;
+
+/// Identifies an application-level lock.
+pub type LockId = u32;
+
+/// A vector timestamp: for each processor, the most recent interval whose
+/// modifications this processor has incorporated.
+///
+/// Vector timestamps drive lazy release consistency: at an acquire, the
+/// acquirer receives write notices exactly for the intervals its timestamp
+/// does not yet cover.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Vt(Vec<Interval>);
+
+impl Vt {
+    /// The zero timestamp for `nprocs` processors.
+    pub fn new(nprocs: usize) -> Vt {
+        Vt(vec![0; nprocs])
+    }
+
+    /// Number of processors covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the timestamp covers no processors.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The latest interval of processor `p` that has been seen.
+    pub fn get(&self, p: ProcId) -> Interval {
+        self.0[p]
+    }
+
+    /// Records that intervals of processor `p` up to `interval` have been
+    /// seen (monotone: never goes backwards).
+    pub fn advance(&mut self, p: ProcId, interval: Interval) {
+        if interval > self.0[p] {
+            self.0[p] = interval;
+        }
+    }
+
+    /// Component-wise maximum with another timestamp.
+    pub fn merge(&mut self, other: &Vt) {
+        assert_eq!(self.0.len(), other.0.len(), "vector timestamps must have the same width");
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// Whether this timestamp covers (dominates or equals) `other` in every
+    /// component.
+    pub fn covers(&self, other: &Vt) -> bool {
+        assert_eq!(self.0.len(), other.0.len(), "vector timestamps must have the same width");
+        self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// Whether the modification `(proc, interval)` has been seen.
+    pub fn has_seen(&self, p: ProcId, interval: Interval) -> bool {
+        self.0[p] >= interval
+    }
+
+    /// Approximate wire size in bytes (4 bytes per component).
+    pub fn wire_bytes(&self) -> usize {
+        self.0.len() * 4
+    }
+}
+
+impl fmt::Display for Vt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_is_monotone() {
+        let mut vt = Vt::new(3);
+        vt.advance(1, 5);
+        vt.advance(1, 3);
+        assert_eq!(vt.get(1), 5);
+        assert_eq!(vt.get(0), 0);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = Vt::new(3);
+        a.advance(0, 2);
+        a.advance(2, 7);
+        let mut b = Vt::new(3);
+        b.advance(0, 5);
+        b.advance(1, 1);
+        a.merge(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 7);
+    }
+
+    #[test]
+    fn covers_is_a_partial_order() {
+        let mut a = Vt::new(2);
+        a.advance(0, 3);
+        a.advance(1, 3);
+        let mut b = Vt::new(2);
+        b.advance(0, 2);
+        b.advance(1, 3);
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.covers(&a));
+        // Incomparable pair.
+        let mut c = Vt::new(2);
+        c.advance(0, 9);
+        assert!(!c.covers(&b));
+        assert!(!b.covers(&c));
+    }
+
+    #[test]
+    fn has_seen_tracks_intervals() {
+        let mut vt = Vt::new(2);
+        vt.advance(1, 4);
+        assert!(vt.has_seen(1, 4));
+        assert!(vt.has_seen(1, 3));
+        assert!(!vt.has_seen(1, 5));
+        assert!(!vt.has_seen(0, 1));
+    }
+
+    #[test]
+    fn display_and_wire_size() {
+        let mut vt = Vt::new(3);
+        vt.advance(0, 1);
+        assert_eq!(vt.to_string(), "<1,0,0>");
+        assert_eq!(vt.wire_bytes(), 12);
+        assert!(!vt.is_empty());
+        assert_eq!(vt.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merging_mismatched_widths_panics() {
+        let mut a = Vt::new(2);
+        a.merge(&Vt::new(3));
+    }
+}
