@@ -1,1 +1,10 @@
-//! stub
+//! # dsm-apps — the paper's application suite
+//!
+//! Placeholder for the six applications of the ASPLOS '96 evaluation
+//! (Jacobi, 3-D FFT, IS, Gauss, Shallow and MGS), each in TreadMarks,
+//! compiler-optimized (`ctrt`) and explicit message-passing form. A later
+//! PR populates this crate on top of the [`ctrt`] interface and the
+//! [`treadmarks`] runtime shipped by the current one.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]

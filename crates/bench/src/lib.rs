@@ -1,1 +1,10 @@
-//! stub
+//! # dsm-bench — the benchmark harness
+//!
+//! Placeholder for the harness that regenerates the paper's tables and
+//! figures (Table 2's fault/message/data reductions, the speedup figures)
+//! from [`sp2model`] statistics and virtual clocks. A later PR populates
+//! this crate; the `benches/` entry points exist so the workspace's bench
+//! wiring is exercised by CI from the start.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]

@@ -1,0 +1,236 @@
+//! An unbounded channel with a shareable receiver.
+//!
+//! The simulated interconnect hands each node one receive queue per port and
+//! shares that queue between the node's compute thread and its
+//! protocol-server thread. `std::sync::mpsc::Receiver` is `!Sync`, which
+//! rules it out; this module provides the minimal replacement: an unbounded
+//! FIFO whose [`Sender`] is cheaply cloneable and whose [`Receiver`] is
+//! `Sync`, with disconnection reported once every sender is gone.
+//!
+//! Per-channel FIFO ordering is guaranteed: messages pushed by one thread
+//! are popped in push order, which is the delivery-order property the DSM
+//! protocol relies on (write notices and diffs from one node must not
+//! overtake each other).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("channel is empty"),
+            TryRecvError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // Poisoning cannot leave the queue in a broken state (pushes and pops
+        // are single operations), so recover instead of propagating panics.
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Appends `value` to the channel. Never blocks; the queue is unbounded.
+    /// A send after all receivers are gone simply parks the value in the
+    /// queue, matching the semantics the interconnect expects at teardown.
+    pub fn send(&self, value: T) {
+        self.shared.lock_queue().push_back(value);
+        self.shared.ready.notify_one();
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::Relaxed);
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake blocked receivers so they observe the
+            // disconnection. The queue mutex must be held across the
+            // notification — otherwise a receiver that has checked the
+            // sender count but not yet parked on the condvar would miss the
+            // wakeup and block forever.
+            let _guard = self.shared.lock_queue();
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+/// The receiving half of an unbounded channel.
+///
+/// Unlike `std::sync::mpsc`, the receiver is `Sync`: a node's compute thread
+/// and protocol-server thread may both block on it through a shared
+/// reference (each message is delivered to exactly one of them).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available or every sender has been dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] if the channel is empty and disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.lock_queue();
+        loop {
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self.shared.ready.wait(queue).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pops a message if one is queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] when nothing is queued and
+    /// [`TryRecvError::Disconnected`] when additionally no sender remains.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.lock_queue();
+        match queue.pop_front() {
+            Some(value) => Ok(value),
+            None if self.shared.senders.load(Ordering::Acquire) == 0 => {
+                Err(TryRecvError::Disconnected)
+            }
+            None => Err(TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+/// Creates an unbounded channel, returning the sender and receiver halves.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_recv_is_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i);
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn try_recv_reports_empty_and_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1);
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_unblocks_on_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let handle = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn pending_messages_survive_sender_drop() {
+        let (tx, rx) = unbounded();
+        tx.send(7);
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for _ in 0..500 {
+                    tx.send(1u64);
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..500 {
+                    tx2.send(1u64);
+                }
+            });
+        });
+        let mut total = 0;
+        while let Ok(v) = rx.try_recv() {
+            total += v;
+        }
+        assert_eq!(total, 1000);
+    }
+}

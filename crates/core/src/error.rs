@@ -1,0 +1,41 @@
+//! Cross-crate error helpers.
+
+use std::error::Error;
+use std::fmt;
+
+/// A minimal boxed-error alias for fallible workspace APIs that do not need
+/// a bespoke error enum (examples, benches, the application drivers).
+pub type BoxError = Box<dyn Error + Send + Sync + 'static>;
+
+/// Wraps a plain message as an error, for one-off failure paths.
+///
+/// ```
+/// use dsm_core::error::msg;
+/// let e = msg("heap exhausted");
+/// assert_eq!(e.to_string(), "heap exhausted");
+/// ```
+pub fn msg(text: impl Into<String>) -> BoxError {
+    Box::new(MsgError(text.into()))
+}
+
+#[derive(Debug)]
+struct MsgError(String);
+
+impl fmt::Display for MsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for MsgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_round_trips_text() {
+        let e = msg("boom");
+        assert_eq!(e.to_string(), "boom");
+    }
+}

@@ -1,0 +1,130 @@
+//! The three entry points of the augmented interface.
+//!
+//! The compiler (or a hand-annotated program) describes the accesses of the
+//! upcoming phase as [`RegularSection`]s and calls one of:
+//!
+//! * [`validate`] — make the sections consistent *now*, with all misses
+//!   aggregated into one request message per producer;
+//! * [`validate_w_sync`] — same, but merged with a synchronization
+//!   operation so the consistency information and the data travel on the
+//!   same messages;
+//! * [`push`] — for fully analyzable phases: producers send their data
+//!   directly to the consumers, replacing barrier + invalidate + fetch.
+//!
+//! The legality contract for each call is specified in `DESIGN.md`.
+
+use pagedmem::AddrRange;
+use treadmarks::{ProcId, Process, SyncOp};
+
+use crate::section::RegularSection;
+
+/// Splits sections into the ranges whose old contents must be fetched and
+/// the write-preparation work (twinned vs `WRITE_ALL`).
+fn plan(sections: &[RegularSection]) -> (Vec<AddrRange>, Vec<AddrRange>, Vec<AddrRange>) {
+    let mut fetch = Vec::new();
+    let mut write_twinned = Vec::new();
+    let mut write_all = Vec::new();
+    for section in sections {
+        let access = section.access();
+        if access.needs_fetch() {
+            fetch.extend_from_slice(section.ranges());
+        }
+        if access.is_write() {
+            if access.is_write_all() {
+                write_all.extend_from_slice(section.ranges());
+            } else {
+                write_twinned.extend_from_slice(section.ranges());
+            }
+        }
+    }
+    (AddrRange::coalesce(fetch), AddrRange::coalesce(write_twinned), AddrRange::coalesce(write_all))
+}
+
+/// Performs the write-preparation half of a validate: batch twin creation
+/// and write enabling, so the phase's writes take no faults.
+fn prepare_writes(p: &mut Process, write_twinned: &[AddrRange], write_all: &[AddrRange]) {
+    if !write_twinned.is_empty() {
+        p.create_twins(write_twinned);
+        p.write_enable(write_twinned, false);
+    }
+    if !write_all.is_empty() {
+        p.write_enable(write_all, true);
+    }
+}
+
+/// `Validate(regions)`: makes every section consistent before the phase
+/// runs, replacing the phase's page faults with **one aggregated request
+/// message per producer** and preparing written pages (twins, write
+/// enables) in batch.
+///
+/// Legal anywhere: the call only accelerates what the invalidate-based
+/// protocol would do lazily, so over- or under-approximated sections are
+/// correctness-neutral (missed pages simply fault as usual).
+pub fn validate(p: &mut Process, sections: &[RegularSection]) {
+    p.stats().validates(1);
+    let (fetch, write_twinned, write_all) = plan(sections);
+    if !fetch.is_empty() {
+        let handle = p.fetch_diffs(&fetch);
+        p.apply_fetch(handle);
+    }
+    prepare_writes(p, &write_twinned, &write_all);
+}
+
+/// `Validate_w_sync(sync_op, regions)`: performs the synchronization
+/// operation with the sections' page list piggybacked on it, so that the
+/// consistency traffic (write notices) and the requested data travel in
+/// the same messages — for a barrier, producers answer with at most one
+/// aggregated message each; for a lock, the releaser's diffs ride on the
+/// grant itself.
+///
+/// **Contract:** the call *replaces* the plain `barrier()` /
+/// `lock_acquire()` of the phase boundary (do not call both), and it is
+/// only legal at a release-consistency acquire point, because the
+/// piggybacked fetch relies on the write notices that arrive with that
+/// synchronization. Sections may over-approximate; anything not covered
+/// faults lazily as usual.
+pub fn validate_w_sync(p: &mut Process, sync: SyncOp, sections: &[RegularSection]) {
+    p.stats().validate_w_syncs(1);
+    let (fetch, write_twinned, write_all) = plan(sections);
+    p.fetch_diffs_w_sync(sync, &fetch);
+    prepare_writes(p, &write_twinned, &write_all);
+}
+
+/// `Push(dest, regions)`: describes one destination of a [`push_phase`] —
+/// the contents of `regions` travel directly to processor `dest`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Push {
+    /// The consuming processor.
+    pub dest: ProcId,
+    /// The data it consumes, as lowered address ranges.
+    pub regions: Vec<AddrRange>,
+}
+
+impl Push {
+    /// A push of `sections` to `dest`.
+    pub fn new(dest: ProcId, sections: &[RegularSection]) -> Push {
+        let mut regions = Vec::new();
+        for s in sections {
+            regions.extend_from_slice(s.ranges());
+        }
+        Push { dest, regions: AddrRange::coalesce(regions) }
+    }
+}
+
+/// Executes the data movement of a fully analyzable phase boundary: every
+/// [`Push`] in `sends` goes out point-to-point, and one push is awaited
+/// from each processor in `recv_from`. This **replaces** the barrier and
+/// the entire invalidate/fetch machinery for the phase.
+///
+/// **Contract:** only legal when the compiler has fully analyzed the
+/// producer/consumer relationship of the phase — every datum the receivers
+/// will read before the next synchronization must be covered by some push,
+/// because no write notices are generated for pushed modifications. The
+/// sends and `recv_from` sets of all processors must be globally matched,
+/// like any collective operation.
+pub fn push_phase(p: &mut Process, sends: &[Push], recv_from: &[ProcId]) {
+    p.stats().pushes(1);
+    let plan: Vec<(ProcId, Vec<AddrRange>)> =
+        sends.iter().map(|push| (push.dest, push.regions.clone())).collect();
+    p.push_exchange(&plan, recv_from);
+}

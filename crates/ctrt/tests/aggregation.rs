@@ -1,0 +1,174 @@
+//! The acceptance test of the interface: the compiler-visible calls must
+//! move the same data with strictly fewer messages than the plain
+//! invalidate-based protocol, measured through `sp2model` statistics.
+
+use ctrt::{push_phase, validate, validate_w_sync, Access, Push, RegularSection, SyncOp};
+use pagedmem::PAGE_SIZE;
+use sp2model::CostModel;
+use treadmarks::{Dsm, DsmConfig, DsmRun, Process, SyncOp as TmSyncOp};
+
+const NPROCS: usize = 4;
+const PAGES_PER_PROC: usize = 3;
+const ELEMS_PER_PAGE: usize = PAGE_SIZE / 8;
+
+/// The shared access pattern of all three runs: every processor fills its
+/// own block of pages, synchronizes, then reads its right neighbour's
+/// block and returns the sum.
+///
+/// `sync` performs the phase boundary (and, for the optimized runs, the
+/// prefetch of the neighbour block).
+fn neighbour_exchange(
+    p: &mut Process,
+    sync: impl Fn(&mut Process, &treadmarks::SharedArray<u64>, std::ops::Range<usize>),
+) -> u64 {
+    let elems = NPROCS * PAGES_PER_PROC * ELEMS_PER_PAGE;
+    let a = p.alloc_array::<u64>(elems);
+    let chunk = elems / NPROCS;
+    let me = p.proc_id();
+    for i in 0..chunk {
+        p.set(&a, me * chunk + i, (me * chunk + i) as u64);
+    }
+    let neighbour = (me + 1) % NPROCS;
+    let wanted = neighbour * chunk..(neighbour + 1) * chunk;
+    sync(p, &a, wanted.clone());
+    wanted.map(|i| p.get(&a, i)).sum()
+}
+
+fn expected_sums() -> Vec<u64> {
+    let elems = NPROCS * PAGES_PER_PROC * ELEMS_PER_PAGE;
+    let chunk = elems / NPROCS;
+    (0..NPROCS)
+        .map(|me| {
+            let n = (me + 1) % NPROCS;
+            (n * chunk..(n + 1) * chunk).map(|i| i as u64).sum()
+        })
+        .collect()
+}
+
+fn config() -> DsmConfig {
+    DsmConfig::new(NPROCS).with_cost_model(CostModel::free())
+}
+
+fn base_run() -> DsmRun<u64> {
+    Dsm::run(config(), |p| neighbour_exchange(p, |p, _, _| p.barrier()))
+}
+
+#[test]
+fn all_variants_compute_the_same_sums() {
+    let expect = expected_sums();
+    assert_eq!(base_run().results, expect);
+    let validated = Dsm::run(config(), |p| {
+        neighbour_exchange(p, |p, a, wanted| {
+            p.barrier();
+            validate(p, &[RegularSection::array(a, wanted, Access::Read)]);
+        })
+    });
+    assert_eq!(validated.results, expect);
+    let merged = Dsm::run(config(), |p| {
+        neighbour_exchange(p, |p, a, wanted| {
+            validate_w_sync(p, SyncOp::Barrier, &[RegularSection::array(a, wanted, Access::Read)]);
+        })
+    });
+    assert_eq!(merged.results, expect);
+}
+
+#[test]
+fn validate_aggregates_fetches_below_the_faulting_run() {
+    let base = base_run();
+    let opt = Dsm::run(config(), |p| {
+        neighbour_exchange(p, |p, a, wanted| {
+            p.barrier();
+            validate(p, &[RegularSection::array(a, wanted, Access::Read)]);
+        })
+    });
+    let base_total = base.stats.total();
+    let opt_total = opt.stats.total();
+    // The faulting run pays one request/response pair per missed page; the
+    // validated run pays one pair per (processor, producer) edge.
+    assert!(
+        opt_total.messages_sent < base_total.messages_sent,
+        "validate must reduce messages: {} -> {}",
+        base_total.messages_sent,
+        opt_total.messages_sent
+    );
+    // And it eliminates the access-path faults entirely.
+    assert!(opt_total.page_faults < base_total.page_faults);
+    assert_eq!(opt_total.validates, NPROCS as u64);
+}
+
+#[test]
+fn validate_w_sync_merges_consistency_and_data_messages() {
+    let base = base_run();
+    let merged = Dsm::run(config(), |p| {
+        neighbour_exchange(p, |p, a, wanted| {
+            validate_w_sync(p, SyncOp::Barrier, &[RegularSection::array(a, wanted, Access::Read)]);
+        })
+    });
+    let base_total = base.stats.total();
+    let merged_total = merged.stats.total();
+    // ISSUE acceptance criterion: strictly fewer messages than the plain
+    // invalidate-based run of the same access pattern.
+    assert!(
+        merged_total.messages_sent < base_total.messages_sent,
+        "validate_w_sync must send strictly fewer messages: {} -> {}",
+        base_total.messages_sent,
+        merged_total.messages_sent
+    );
+    assert!(merged_total.page_faults < base_total.page_faults);
+    assert_eq!(merged_total.validate_w_syncs, NPROCS as u64);
+
+    // It also beats plain validate: the fetch requests ride on the barrier
+    // arrivals instead of travelling as separate messages.
+    let validated = Dsm::run(config(), |p| {
+        neighbour_exchange(p, |p, a, wanted| {
+            p.barrier();
+            validate(p, &[RegularSection::array(a, wanted, Access::Read)]);
+        })
+    });
+    assert!(merged_total.messages_sent < validated.stats.total().messages_sent);
+}
+
+#[test]
+fn push_replaces_the_barrier_for_a_fully_analyzable_phase() {
+    let base = base_run();
+    let expect = expected_sums();
+    // Fully analyzable: every processor knows its consumer (the left
+    // neighbour reads our block) and its producer (the right neighbour).
+    let pushed = Dsm::run(config(), |p| {
+        let elems = NPROCS * PAGES_PER_PROC * ELEMS_PER_PAGE;
+        let a = p.alloc_array::<u64>(elems);
+        let chunk = elems / NPROCS;
+        let me = p.proc_id();
+        let mine = RegularSection::array(&a, me * chunk..(me + 1) * chunk, Access::WriteAll);
+        // The compiler knows the whole block is overwritten: no twins.
+        validate(p, std::slice::from_ref(&mine));
+        for i in 0..chunk {
+            p.set(&a, me * chunk + i, (me * chunk + i) as u64);
+        }
+        let consumer = (me + NPROCS - 1) % NPROCS;
+        let producer = (me + 1) % NPROCS;
+        push_phase(p, &[Push::new(consumer, std::slice::from_ref(&mine))], &[producer]);
+        (producer * chunk..(producer + 1) * chunk).map(|i| p.get(&a, i)).sum::<u64>()
+    });
+    assert_eq!(pushed.results, expect);
+    let base_total = base.stats.total();
+    let push_total = pushed.stats.total();
+    // One data message per edge, nothing else: far below the barrier +
+    // invalidate + fetch machinery.
+    assert!(
+        push_total.messages_sent < base_total.messages_sent,
+        "push must reduce messages: {} -> {}",
+        base_total.messages_sent,
+        push_total.messages_sent
+    );
+    assert_eq!(push_total.page_faults, 0, "a fully analyzable phase takes no faults");
+    assert_eq!(push_total.twins_created, 0, "WRITE_ALL phases keep no twins");
+    assert_eq!(push_total.pushes, NPROCS as u64);
+}
+
+#[test]
+fn sync_op_reexport_is_the_runtime_type() {
+    // The ctrt SyncOp is the treadmarks SyncOp, not a parallel enum.
+    let x: SyncOp = TmSyncOp::Barrier;
+    assert_eq!(x, SyncOp::Barrier);
+}

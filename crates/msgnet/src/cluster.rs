@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use dsm_core::channel::{unbounded, Receiver, Sender};
 use sp2model::{CostModel, SharedStats, VirtualTime};
 
 use crate::{Envelope, NetError, NodeId};
@@ -153,14 +153,7 @@ impl<M: Send> Endpoint<M> {
             self.cost_model.message_cost(payload_bytes, interrupt)
         };
         let arrives_at = sent_at + latency;
-        let envelope = Envelope {
-            src: self.id,
-            dst,
-            sent_at,
-            arrives_at,
-            payload_bytes,
-            payload,
-        };
+        let envelope = Envelope { src: self.id, dst, sent_at, arrives_at, payload_bytes, payload };
         if dst != self.id {
             self.stats.messages_sent(1);
             self.stats.bytes_sent(payload_bytes as u64);
@@ -171,8 +164,9 @@ impl<M: Send> Endpoint<M> {
             Port::Reply => &mailbox.reply_tx,
         };
         // Receiver endpoints live as long as the cluster run; a send after
-        // teardown only happens in tests, where dropping the message is fine.
-        let _ = tx.send(envelope);
+        // teardown only happens in tests, where the message is simply never
+        // consumed.
+        tx.send(envelope);
         arrives_at
     }
 
@@ -236,10 +230,7 @@ impl<M: Send> Endpoint<M> {
 
 impl<M> fmt::Debug for Endpoint<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Endpoint")
-            .field("id", &self.id)
-            .field("nodes", &self.nodes)
-            .finish()
+        f.debug_struct("Endpoint").field("id", &self.id).field("nodes", &self.nodes).finish()
     }
 }
 

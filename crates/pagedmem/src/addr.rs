@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::Add;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{PageId, PAGE_SIZE};
 
 /// A byte address within the shared address space.
@@ -13,7 +11,7 @@ use crate::{PageId, PAGE_SIZE};
 /// not host pointers; every node lays the shared heap out identically (see
 /// [`SharedAlloc`](crate::SharedAlloc)), so an `Addr` names the same datum on
 /// every node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(usize);
 
 impl Addr {
@@ -47,12 +45,12 @@ impl Addr {
 
     /// Rounds up to the next page boundary (identity if already aligned).
     pub const fn page_align_up(self) -> Addr {
-        Addr((self.0 + PAGE_SIZE - 1) / PAGE_SIZE * PAGE_SIZE)
+        Addr(self.0.div_ceil(PAGE_SIZE) * PAGE_SIZE)
     }
 
     /// Whether the address lies on a page boundary.
     pub const fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 }
 
@@ -76,7 +74,7 @@ impl fmt::Display for Addr {
 /// `AddrRange`s before calling into the run-time system (Section 3.3 of the
 /// paper notes that the implementation passes contiguous address ranges
 /// rather than sections).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AddrRange {
     start: Addr,
     len: usize,
@@ -133,11 +131,7 @@ impl AddrRange {
     /// covered first and last pages).
     pub fn pages(&self) -> impl Iterator<Item = PageId> {
         let first = if self.len == 0 { 1 } else { self.start.as_usize() / PAGE_SIZE };
-        let last = if self.len == 0 {
-            0
-        } else {
-            (self.end().as_usize() - 1) / PAGE_SIZE
-        };
+        let last = if self.len == 0 { 0 } else { (self.end().as_usize() - 1) / PAGE_SIZE };
         (first..=last).map(PageId)
     }
 

@@ -62,10 +62,9 @@ impl SharedAlloc {
     pub fn alloc(&mut self, bytes: usize, align: usize) -> Result<AddrRange, MemError> {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         let start = (self.next + align - 1) & !(align - 1);
-        let end = start.checked_add(bytes).ok_or(MemError::OutOfMemory {
-            requested: bytes,
-            available: self.available(),
-        })?;
+        let end = start
+            .checked_add(bytes)
+            .ok_or(MemError::OutOfMemory { requested: bytes, available: self.available() })?;
         if end > self.limit {
             return Err(MemError::OutOfMemory { requested: bytes, available: self.available() });
         }

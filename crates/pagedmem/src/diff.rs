@@ -10,15 +10,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{MemError, PAGE_SIZE};
 
 /// Comparison granularity in bytes (one 32-bit word, as in TreadMarks).
 const WORD: usize = 4;
 
 /// A run of modified bytes within a page.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Run {
     /// Byte offset of the run within the page (word aligned).
     offset: u32,
@@ -37,7 +35,7 @@ struct Run {
 /// assert!(!diff.is_empty());
 /// assert!(diff.encoded_bytes() < PAGE_SIZE);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Diff {
     runs: Vec<Run>,
 }
@@ -237,6 +235,73 @@ mod tests {
         merged.apply(&mut result).unwrap();
         assert_eq!(&result[0..4], &[1, 1, 1, 1]);
         assert_eq!(&result[100..104], &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn create_apply_round_trips_from_any_base() {
+        // The roundtrip holds not only onto a copy of the twin but onto any
+        // page that agrees with the twin on the unmodified words.
+        let twin = page_with(&[(0, 9), (500, 1)]);
+        let mut current = twin.clone();
+        current[500] = 2;
+        current[501] = 3;
+        let diff = Diff::create(&twin, &current);
+        let mut base = twin.clone();
+        base[3000] = 77; // untouched word: must survive
+        diff.apply(&mut base).unwrap();
+        assert_eq!(base[500], 2);
+        assert_eq!(base[501], 3);
+        assert_eq!(base[3000], 77);
+        assert_eq!(base[0], 9);
+    }
+
+    #[test]
+    fn empty_diffs_are_elided_cheaply() {
+        // An empty diff is detectable without inspecting runs and costs no
+        // wire bytes — the property the runtime's flush relies on to elide
+        // notices for write-enabled-but-untouched pages.
+        let twin = page_with(&[(7, 7)]);
+        let diff = Diff::create(&twin, &twin);
+        assert!(diff.is_empty());
+        assert_eq!(diff.encoded_bytes(), 0);
+        assert_eq!(diff.modified_bytes(), 0);
+        // Applying an empty diff is a no-op.
+        let mut page = twin.clone();
+        diff.apply(&mut page).unwrap();
+        assert_eq!(page, twin);
+    }
+
+    #[test]
+    fn disjoint_multiple_writer_diffs_apply_commutatively() {
+        // Two concurrent writers of one page with disjoint modifications
+        // (false sharing): their diffs must merge to the same contents in
+        // either application order.
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut by_a = twin.clone();
+        by_a[0..64].fill(0xAA);
+        let mut by_b = twin.clone();
+        by_b[2048..2112].fill(0xBB);
+        let da = Diff::create(&twin, &by_a);
+        let db = Diff::create(&twin, &by_b);
+
+        let mut ab = twin.clone();
+        da.apply(&mut ab).unwrap();
+        db.apply(&mut ab).unwrap();
+        let mut ba = twin.clone();
+        db.apply(&mut ba).unwrap();
+        da.apply(&mut ba).unwrap();
+        assert_eq!(ab, ba, "disjoint diffs must commute");
+        assert_eq!(&ab[0..64], &[0xAA; 64][..]);
+        assert_eq!(&ab[2048..2112], &[0xBB; 64][..]);
+
+        // The explicit merge agrees with sequential application, in both
+        // merge orders.
+        let mut merged_ab = twin.clone();
+        da.merge(&db).apply(&mut merged_ab).unwrap();
+        let mut merged_ba = twin.clone();
+        db.merge(&da).apply(&mut merged_ba).unwrap();
+        assert_eq!(merged_ab, ab);
+        assert_eq!(merged_ba, ab);
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl fmt::Display for MemError {
                 write!(f, "buffer of {len} bytes is not a whole page")
             }
             MemError::OutOfMemory { requested, available } => {
-                write!(f, "shared heap exhausted: requested {requested} bytes, {available} available")
+                write!(
+                    f,
+                    "shared heap exhausted: requested {requested} bytes, {available} available"
+                )
             }
         }
     }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Addr;
 
 /// The page size used throughout the system, in bytes.
@@ -15,7 +13,7 @@ pub const PAGE_SIZE: usize = 4096;
 /// Identifies one page of the shared address space.
 ///
 /// Page `n` covers byte addresses `[n * PAGE_SIZE, (n + 1) * PAGE_SIZE)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageId(pub usize);
 
 impl PageId {
@@ -50,7 +48,7 @@ impl fmt::Display for PageId {
 ///
 /// Pages are heap allocated and zero-initialised, matching the behaviour of
 /// freshly mapped anonymous memory.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Page {
     bytes: Box<[u8]>,
 }
@@ -108,7 +106,7 @@ impl fmt::Debug for Page {
 /// * `ReadWrite` — the copy is consistent and writable; a twin records the
 ///   pre-modification contents unless twinning was bypassed by the compiler
 ///   interface (`WRITE_ALL`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protection {
     /// Never mapped on this node.
     Unmapped,

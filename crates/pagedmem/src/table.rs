@@ -95,7 +95,8 @@ impl PageTable {
 
     /// Installs a received copy of `page` with the given protection.
     pub fn install(&mut self, page: PageId, contents: Page, protection: Protection) {
-        let frame = self.frames.entry(page).or_insert_with(|| PageFrame::new(Page::zeroed(), protection));
+        let frame =
+            self.frames.entry(page).or_insert_with(|| PageFrame::new(Page::zeroed(), protection));
         frame.page = contents;
         frame.protection = protection;
         frame.twin = None;
@@ -105,7 +106,9 @@ impl PageTable {
     /// Returns the frame for `page`, mapping it zero-filled read-write if the
     /// node never touched it (used by the node that "owns" the initial data).
     pub fn frame_or_map(&mut self, page: PageId) -> &mut PageFrame {
-        self.frames.entry(page).or_insert_with(|| PageFrame::new(Page::zeroed(), Protection::ReadWrite))
+        self.frames
+            .entry(page)
+            .or_insert_with(|| PageFrame::new(Page::zeroed(), Protection::ReadWrite))
     }
 
     /// Returns the frame for `page`.
@@ -219,7 +222,8 @@ impl PageTable {
             let chunk = (PAGE_SIZE - offset).min(buf.len() - filled);
             match self.frames.get(&page) {
                 Some(frame) => {
-                    buf[filled..filled + chunk].copy_from_slice(&frame.page.as_slice()[offset..offset + chunk]);
+                    buf[filled..filled + chunk]
+                        .copy_from_slice(&frame.page.as_slice()[offset..offset + chunk]);
                 }
                 None => buf[filled..filled + chunk].fill(0),
             }

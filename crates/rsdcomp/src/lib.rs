@@ -1,1 +1,14 @@
-//! stub
+//! # rsdcomp — the regular-section compiler
+//!
+//! Placeholder for the compile-time half of the system: regular section
+//! analysis over an explicit loop IR, producing the `Validate` /
+//! `Validate_w_sync` / `Push` calls that the [`ctrt`] crate executes. A
+//! later PR populates this crate; the public surface today is limited to a
+//! re-export of the interface types the compiler will target, so that
+//! downstream code can already name them through one path.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use ctrt::{Access, RegularSection, SyncOp};
+pub use pagedmem::AddrRange;

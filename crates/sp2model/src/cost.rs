@@ -10,8 +10,6 @@
 //! * page fault and memory-protection costs that are a linear function of the
 //!   number of pages in use (18–800 µs with 2000 pages in use).
 
-use serde::{Deserialize, Serialize};
-
 use crate::VirtualTime;
 
 /// Models the cost of every primitive operation charged to a virtual clock.
@@ -27,7 +25,7 @@ use crate::VirtualTime;
 /// let rt = m.roundtrip_cost(0, true);
 /// assert!((360..400).contains(&rt.as_micros()));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Fixed one-way cost of a message when the receiver takes an interrupt
     /// (TreadMarks lock/page/diff requests), in nanoseconds.

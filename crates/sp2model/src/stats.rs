@@ -10,8 +10,6 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! define_stats {
     ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
         /// Atomic event counters shared between a node's compute thread and
@@ -31,7 +29,7 @@ macro_rules! define_stats {
         }
 
         /// A plain-value copy of a [`SharedStats`] at one point in time.
-        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
         #[allow(missing_docs)]
         pub struct StatsSnapshot {
             $($(#[$doc])* pub $name: u64,)*
@@ -147,7 +145,7 @@ impl fmt::Display for StatsSnapshot {
 }
 
 /// Statistics for a whole cluster run: one snapshot per node.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClusterStats {
     nodes: Vec<StatsSnapshot>,
 }
@@ -170,9 +168,7 @@ impl ClusterStats {
 
     /// Field-wise sum over all nodes.
     pub fn total(&self) -> StatsSnapshot {
-        self.nodes
-            .iter()
-            .fold(StatsSnapshot::default(), |acc, s| acc.merge(s))
+        self.nodes.iter().fold(StatsSnapshot::default(), |acc, s| acc.merge(s))
     }
 
     /// Table 2 style comparison against a baseline run: percentage reduction
@@ -195,7 +191,7 @@ impl FromIterator<StatsSnapshot> for ClusterStats {
 }
 
 /// Percentage reductions reported in Table 2 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Reduction {
     /// Reduction in page faults ("% segv").
     pub page_faults_pct: f64,
@@ -261,12 +257,32 @@ mod tests {
     #[test]
     fn cluster_total_and_reduction() {
         let base = ClusterStats::from_nodes(vec![
-            StatsSnapshot { page_faults: 50, messages_sent: 100, bytes_sent: 1000, ..Default::default() },
-            StatsSnapshot { page_faults: 50, messages_sent: 100, bytes_sent: 1000, ..Default::default() },
+            StatsSnapshot {
+                page_faults: 50,
+                messages_sent: 100,
+                bytes_sent: 1000,
+                ..Default::default()
+            },
+            StatsSnapshot {
+                page_faults: 50,
+                messages_sent: 100,
+                bytes_sent: 1000,
+                ..Default::default()
+            },
         ]);
         let opt = ClusterStats::from_nodes(vec![
-            StatsSnapshot { page_faults: 0, messages_sent: 30, bytes_sent: 1500, ..Default::default() },
-            StatsSnapshot { page_faults: 0, messages_sent: 30, bytes_sent: 1500, ..Default::default() },
+            StatsSnapshot {
+                page_faults: 0,
+                messages_sent: 30,
+                bytes_sent: 1500,
+                ..Default::default()
+            },
+            StatsSnapshot {
+                page_faults: 0,
+                messages_sent: 30,
+                bytes_sent: 1500,
+                ..Default::default()
+            },
         ]);
         let r = opt.reduction_vs(&base);
         assert_eq!(r.page_faults_pct, 100.0);

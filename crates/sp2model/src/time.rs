@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in (or duration of) virtual time, stored in nanoseconds.
 ///
 /// All protocol costs in the simulation are expressed as `VirtualTime`
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_nanos(), 365_000);
 /// assert_eq!((t + t).as_micros(), 730);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtualTime(u64);
 
 impl VirtualTime {

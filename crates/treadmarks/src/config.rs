@@ -56,9 +56,7 @@ mod tests {
 
     #[test]
     fn builder_methods_override_defaults() {
-        let c = DsmConfig::new(4)
-            .with_cost_model(CostModel::free())
-            .with_heap_capacity(1 << 20);
+        let c = DsmConfig::new(4).with_cost_model(CostModel::free()).with_heap_capacity(1 << 20);
         assert_eq!(c.nprocs, 4);
         assert_eq!(c.heap_capacity, 1 << 20);
         assert_eq!(c.cost_model, CostModel::free());

@@ -1,0 +1,468 @@
+//! The run harness: N simulated processors over a [`msgnet::Cluster`].
+//!
+//! [`Dsm::run`] spawns two OS threads per simulated processor — the compute
+//! thread executing the application closure through its [`Process`], and
+//! the protocol-server thread standing in for the interrupt handler that
+//! services remote lock and diff requests — joins the application, shuts
+//! the servers down and collects per-node clocks and statistics.
+
+use std::sync::Arc;
+
+use msgnet::{Cluster, NodeId, Port};
+use sp2model::{ClusterStats, VirtualTime};
+
+use crate::config::DsmConfig;
+use crate::message::TmkMessage;
+use crate::process::{PeerAbort, Process};
+use crate::server::server_loop;
+use crate::state::NodeShared;
+
+/// The DSM run harness. See [`Dsm::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct Dsm;
+
+/// The outcome of a DSM run.
+#[derive(Debug, Clone)]
+pub struct DsmRun<R> {
+    /// Whatever each processor's closure returned, indexed by processor id.
+    pub results: Vec<R>,
+    /// Final virtual time of each processor.
+    pub elapsed: Vec<VirtualTime>,
+    /// Per-processor protocol statistics.
+    pub stats: ClusterStats,
+}
+
+impl<R> DsmRun<R> {
+    /// The run's execution time: the maximum final clock over processors.
+    pub fn execution_time(&self) -> VirtualTime {
+        self.elapsed.iter().copied().max().unwrap_or(VirtualTime::ZERO)
+    }
+}
+
+impl Dsm {
+    /// Runs `f` on `config.nprocs` simulated processors and collects the
+    /// results, clocks and statistics.
+    ///
+    /// `f` is executed once per processor (SPMD style) with that
+    /// processor's [`Process`] handle. The closure must perform the same
+    /// sequence of shared allocations on every processor and must keep
+    /// collective operations (barriers, pushes) matched, exactly like an
+    /// SPMD program over real TreadMarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any processor's closure panics (after shutting down the
+    /// simulated cluster).
+    pub fn run<R, F>(config: DsmConfig, f: F) -> DsmRun<R>
+    where
+        R: Send,
+        F: Fn(&mut Process) -> R + Sync,
+    {
+        let nprocs = config.nprocs;
+        let endpoints: Vec<Arc<_>> = Cluster::<TmkMessage>::new(nprocs, config.cost_model.clone())
+            .into_endpoints()
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let shareds: Vec<Arc<NodeShared>> = endpoints
+            .iter()
+            .enumerate()
+            .map(|(id, ep)| {
+                Arc::new(NodeShared::new(id, nprocs, config.cost_model.clone(), ep.stats().clone()))
+            })
+            .collect();
+
+        type Outcome<R> = Result<(R, VirtualTime), Box<dyn std::any::Any + Send>>;
+        let mut outcomes: Vec<Option<Outcome<R>>> = (0..nprocs).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (ep, sh) in endpoints.iter().zip(&shareds) {
+                let ep = Arc::clone(ep);
+                let sh = Arc::clone(sh);
+                scope.spawn(move || server_loop(ep, sh));
+            }
+            let compute_handles: Vec<_> = endpoints
+                .iter()
+                .zip(&shareds)
+                .map(|(ep, sh)| {
+                    let ep = Arc::clone(ep);
+                    let sh = Arc::clone(sh);
+                    let f = &f;
+                    let config = &config;
+                    scope.spawn(move || {
+                        let mut process = Process::new(Arc::clone(&ep), sh, config);
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(&mut process)
+                        }));
+                        match result {
+                            Ok(result) => Ok((result, process.clock().now())),
+                            Err(panic) => {
+                                // Poison every reply port so peers blocked in
+                                // a collective unwind instead of waiting for a
+                                // message this processor will never send.
+                                for peer in (0..ep.nodes()).map(NodeId) {
+                                    ep.send(
+                                        peer,
+                                        Port::Reply,
+                                        TmkMessage::Shutdown,
+                                        0,
+                                        VirtualTime::ZERO,
+                                        true,
+                                    );
+                                }
+                                Err(panic)
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for (slot, handle) in outcomes.iter_mut().zip(compute_handles) {
+                *slot = Some(match handle.join() {
+                    Ok(outcome) => outcome,
+                    Err(panic) => Err(panic),
+                });
+            }
+            // Stop every protocol server (whether or not the application
+            // panicked), so the scope can join them.
+            for ep in &endpoints {
+                ep.send(ep.id(), Port::Request, TmkMessage::Shutdown, 0, VirtualTime::ZERO, true);
+            }
+        });
+
+        // If anything panicked, resume the root cause — not the secondary
+        // `PeerAbort` unwinds of processors that were poisoned out of a
+        // collective.
+        if outcomes.iter().any(|o| matches!(o, Some(Err(_)))) {
+            let mut peer_abort = None;
+            for outcome in &mut outcomes {
+                if let Some(Err(panic)) = outcome {
+                    if panic.is::<PeerAbort>() {
+                        peer_abort.get_or_insert(outcome);
+                    } else {
+                        let Some(Err(panic)) = outcome.take() else { unreachable!() };
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+            let Some(Some(Err(panic))) = peer_abort.map(Option::take) else { unreachable!() };
+            std::panic::resume_unwind(panic);
+        }
+
+        let mut results = Vec::with_capacity(nprocs);
+        let mut elapsed = Vec::with_capacity(nprocs);
+        for outcome in outcomes {
+            match outcome.expect("every processor was joined") {
+                Ok((result, time)) => {
+                    results.push(result);
+                    elapsed.push(time);
+                }
+                Err(_) => unreachable!("panics were propagated above"),
+            }
+        }
+        let stats = endpoints.iter().map(|ep| ep.stats().snapshot()).collect();
+        DsmRun { results, elapsed, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::SyncOp;
+    use crate::types::LockId;
+    use pagedmem::PAGE_SIZE;
+    use sp2model::CostModel;
+
+    fn free_config(nprocs: usize) -> DsmConfig {
+        DsmConfig::new(nprocs).with_cost_model(CostModel::free())
+    }
+
+    #[test]
+    fn single_processor_runs_without_communication() {
+        let run = Dsm::run(free_config(1), |p| {
+            let a = p.alloc_array::<u64>(16);
+            for i in 0..16 {
+                p.set(&a, i, i as u64);
+            }
+            p.barrier();
+            (0..16).map(|i| p.get(&a, i)).sum::<u64>()
+        });
+        assert_eq!(run.results, vec![120]);
+        assert_eq!(run.stats.total().messages_sent, 0);
+    }
+
+    #[test]
+    fn writes_propagate_through_a_barrier() {
+        let run = Dsm::run(free_config(2), |p| {
+            let a = p.alloc_array::<u64>(8);
+            if p.proc_id() == 0 {
+                for i in 0..8 {
+                    p.set(&a, i, 10 + i as u64);
+                }
+            }
+            p.barrier();
+            p.get(&a, 3)
+        });
+        assert_eq!(run.results, vec![13, 13]);
+        let total = run.stats.total();
+        assert!(total.messages_sent > 0);
+        assert!(total.diffs_applied >= 1);
+    }
+
+    #[test]
+    fn concurrent_writers_of_one_page_merge() {
+        // Both processors write disjoint halves of the same page; after the
+        // barrier each sees both halves (the multiple-writer protocol).
+        let run = Dsm::run(free_config(2), |p| {
+            let a = p.alloc_array::<u32>(PAGE_SIZE / 4);
+            let half = a.len() / 2;
+            let base = p.proc_id() * half;
+            for i in 0..half {
+                p.set(&a, base + i, (base + i) as u32);
+            }
+            p.barrier();
+            let other = (1 - p.proc_id()) * half;
+            (0..half).map(|i| p.get(&a, other + i) as u64).sum::<u64>()
+        });
+        let expect0: u64 = (512..1024).sum();
+        let expect1: u64 = (0..512).sum();
+        assert_eq!(run.results, vec![expect0, expect1]);
+    }
+
+    #[test]
+    fn locks_transfer_modifications_lazily() {
+        const LOCK: LockId = 3;
+        let run = Dsm::run(free_config(3), |p| {
+            // A simple token-passing counter: each processor increments a
+            // shared counter under the lock, in processor order enforced by
+            // barriers.
+            let a = p.alloc_array::<u64>(1);
+            for turn in 0..p.nprocs() {
+                if p.proc_id() == turn {
+                    p.lock_acquire(LOCK);
+                    let v = p.get(&a, 0);
+                    p.set(&a, 0, v + 1);
+                    p.lock_release(LOCK);
+                }
+                p.barrier();
+            }
+            p.lock_acquire(LOCK);
+            let v = p.get(&a, 0);
+            p.lock_release(LOCK);
+            v
+        });
+        assert_eq!(run.results, vec![3, 3, 3]);
+        assert!(run.stats.total().lock_acquires >= 6);
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_clocks() {
+        let run = Dsm::run(DsmConfig::new(4), |p| {
+            if p.proc_id() == 2 {
+                p.compute(VirtualTime::from_millis(40));
+            }
+            p.barrier();
+            p.clock().now()
+        });
+        for t in &run.results {
+            assert!(*t >= VirtualTime::from_millis(40), "barrier must propagate the slowest clock");
+        }
+        assert!(run.execution_time() >= VirtualTime::from_millis(40));
+    }
+
+    #[test]
+    fn fetch_diffs_aggregates_one_message_per_destination() {
+        // Processor 0 writes four pages; processor 1 validates all four in
+        // one fetch: exactly one request and one response.
+        let run = Dsm::run(free_config(2), |p| {
+            let a = p.alloc_array::<u8>(4 * PAGE_SIZE);
+            if p.proc_id() == 0 {
+                for page in 0..4 {
+                    p.set(&a, page * PAGE_SIZE, 7);
+                }
+            }
+            p.barrier();
+            let before = p.stats().snapshot().messages_sent;
+            if p.proc_id() == 1 {
+                let handle = p.fetch_diffs(&[a.full_range()]);
+                assert_eq!(handle.outstanding(), 1);
+                p.apply_fetch(handle);
+                let sent = p.stats().snapshot().messages_sent - before;
+                assert_eq!(sent, 1, "one aggregated request regardless of page count");
+                (0..4).map(|page| p.get(&a, page * PAGE_SIZE) as u64).sum()
+            } else {
+                0u64
+            }
+        });
+        assert_eq!(run.results[1], 28);
+    }
+
+    #[test]
+    fn fetch_w_sync_barrier_piggybacks_the_fetch() {
+        let run = Dsm::run(free_config(2), |p| {
+            let a = p.alloc_array::<u64>(PAGE_SIZE / 8);
+            if p.proc_id() == 0 {
+                p.set(&a, 0, 99);
+            }
+            let range = a.full_range();
+            p.fetch_diffs_w_sync(SyncOp::Barrier, &[range]);
+            // The page is already valid: reading it faults no further.
+            let before = p.stats().snapshot().page_faults;
+            let v = p.get(&a, 0);
+            assert_eq!(p.stats().snapshot().page_faults, before);
+            v
+        });
+        assert_eq!(run.results, vec![99, 99]);
+    }
+
+    #[test]
+    fn fetch_w_sync_lock_piggybacks_the_releasers_diffs() {
+        const LOCK: LockId = 1;
+        let run = Dsm::run(free_config(2), |p| {
+            let a = p.alloc_array::<u64>(4);
+            if p.proc_id() == 0 {
+                p.lock_acquire(LOCK);
+                p.set(&a, 1, 41);
+                p.lock_release(LOCK);
+                p.barrier();
+                41
+            } else {
+                p.barrier();
+                p.fetch_diffs_w_sync(SyncOp::Lock(LOCK), &[a.full_range()]);
+                let v = p.get(&a, 1);
+                p.lock_release(LOCK);
+                v
+            }
+        });
+        assert_eq!(run.results, vec![41, 41]);
+    }
+
+    #[test]
+    fn push_exchange_moves_data_without_faults_or_notices() {
+        let run = Dsm::run(free_config(2), |p| {
+            let a = p.alloc_array::<u64>(PAGE_SIZE / 8);
+            let me = p.proc_id();
+            let other = 1 - me;
+            let half = a.len() / 2;
+            // Each processor produces its half under WRITE_ALL (no twins)
+            // and pushes it directly to the other.
+            let mine = a.range_of(me * half, (me + 1) * half);
+            p.write_enable(&[mine], true);
+            for i in 0..half {
+                p.set(&a, me * half + i, (100 + me * half + i) as u64);
+            }
+            p.push_exchange(&[(other, vec![mine])], &[other]);
+            let faults_before = p.stats().snapshot().page_faults;
+            let sum: u64 = (0..a.len()).map(|i| p.get(&a, i)).sum();
+            assert_eq!(p.stats().snapshot().page_faults, faults_before);
+            sum
+        });
+        let expect: u64 = (100..100 + 512).sum();
+        assert_eq!(run.results, vec![expect, expect]);
+        // Push never creates twins or diffs on the receiving side.
+        assert_eq!(run.stats.total().diffs_applied, 0);
+    }
+
+    #[test]
+    fn write_all_skips_twins_and_fetches() {
+        let run = Dsm::run(free_config(2), |p| {
+            let a = p.alloc_array::<u64>(PAGE_SIZE / 8);
+            // Round 1: processor 0 fills the page.
+            if p.proc_id() == 0 {
+                for i in 0..a.len() {
+                    p.set(&a, i, 1);
+                }
+            }
+            p.barrier();
+            // Round 2: processor 1 overwrites the whole page under
+            // WRITE_ALL — it must not fetch processor 0's diffs first.
+            if p.proc_id() == 1 {
+                let twins_before = p.stats().snapshot().twins_created;
+                let msgs_before = p.stats().snapshot().messages_sent;
+                p.write_enable(&[a.full_range()], true);
+                for i in 0..a.len() {
+                    p.set(&a, i, 2);
+                }
+                assert_eq!(p.stats().snapshot().twins_created, twins_before);
+                assert_eq!(p.stats().snapshot().messages_sent, msgs_before);
+            }
+            p.barrier();
+            p.get(&a, 17)
+        });
+        assert_eq!(run.results, vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrantly")]
+    fn reentrant_lock_acquire_panics() {
+        let _ = Dsm::run(free_config(1), |p| {
+            p.lock_acquire(0);
+            p.lock_acquire(0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "application bug on processor 1")]
+    fn a_panicking_processor_unblocks_peers_in_collectives() {
+        // Processor 0 waits at a barrier processor 1 never reaches; the
+        // harness must propagate processor 1's panic, not hang, and must
+        // report the root cause rather than the peers' secondary aborts.
+        let _ = Dsm::run(free_config(2), |p| {
+            if p.proc_id() == 1 {
+                panic!("application bug on processor {}", p.proc_id());
+            }
+            p.barrier();
+        });
+    }
+
+    #[test]
+    fn contended_locks_preserve_mutual_exclusion() {
+        // Heavy uncoordinated contention: every processor repeatedly
+        // increments a shared counter under the lock. Lost updates would
+        // reveal a grant issued while another grant was still in flight
+        // (the forwarded-request race on a pending local acquire).
+        const LOCK: LockId = 2;
+        const ROUNDS: usize = 50;
+        let nprocs = 4;
+        let run = Dsm::run(free_config(nprocs), |p| {
+            let a = p.alloc_array::<u64>(1);
+            for _ in 0..ROUNDS {
+                p.lock_acquire(LOCK);
+                let v = p.get(&a, 0);
+                p.set(&a, 0, v + 1);
+                p.lock_release(LOCK);
+            }
+            p.barrier();
+            p.get(&a, 0)
+        });
+        let expect = (nprocs * ROUNDS) as u64;
+        assert_eq!(run.results, vec![expect; nprocs]);
+    }
+
+    #[test]
+    fn write_all_on_a_partially_covered_page_keeps_remote_writes() {
+        // Processor 0 writes the back half of a page; processor 1 then
+        // asserts WRITE_ALL for the *front* half only. The uncovered back
+        // half must still be fetched, not silently dropped.
+        let run = Dsm::run(free_config(2), |p| {
+            let a = p.alloc_array::<u64>(PAGE_SIZE / 8);
+            let half = a.len() / 2;
+            if p.proc_id() == 0 {
+                for i in half..a.len() {
+                    p.set(&a, i, 5);
+                }
+            }
+            p.barrier();
+            if p.proc_id() == 1 {
+                p.write_enable(&[a.range_of(0, half)], true);
+                for i in 0..half {
+                    p.set(&a, i, 9);
+                }
+                // The uncovered half faults and fetches processor 0's diff.
+                let back: u64 = (half..a.len()).map(|i| p.get(&a, i)).sum();
+                assert_eq!(back, 5 * half as u64, "remote writes must survive partial WRITE_ALL");
+            }
+            p.barrier();
+            (p.get(&a, 0), p.get(&a, a.len() - 1))
+        });
+        assert_eq!(run.results, vec![(9, 5), (9, 5)]);
+    }
+}

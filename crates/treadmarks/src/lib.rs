@@ -75,6 +75,6 @@ pub use config::DsmConfig;
 pub use dsm::{Dsm, DsmRun};
 pub use message::TmkMessage;
 pub use notice::{NoticeLog, WriteNotice};
-pub use process::{FetchHandle, Process};
-pub use sharedarray::{SharedArray, SharedMatrix, Shareable};
+pub use process::{FetchHandle, Process, SyncOp};
+pub use sharedarray::{Shareable, SharedArray, SharedMatrix};
 pub use types::{Interval, LockId, ProcId, Vt};

@@ -14,6 +14,11 @@ pub struct DiffRecord {
     pub proc: ProcId,
     /// The interval the modifications belong to.
     pub interval: Interval,
+    /// Happens-before rank of the creating interval (the sum of its vector
+    /// timestamp, see [`Vt::sum`]). Receivers apply same-page diffs in rank
+    /// order so causally later writes overwrite causally earlier ones;
+    /// concurrent diffs compare arbitrarily and commute.
+    pub rank: u64,
     /// The encoded modifications.
     pub diff: Diff,
 }
@@ -21,7 +26,7 @@ pub struct DiffRecord {
 impl DiffRecord {
     /// Approximate wire size of the record.
     pub fn wire_bytes(&self) -> usize {
-        WriteNotice::WIRE_BYTES + self.diff.encoded_bytes()
+        WriteNotice::WIRE_BYTES + 8 + self.diff.encoded_bytes()
     }
 }
 
@@ -74,6 +79,14 @@ pub enum TmkMessage {
         vt: Vt,
         /// Pages piggy-backed by `Validate_w_sync`, if any.
         sync_pages: Vec<PageId>,
+        /// How many acquire requests from the *forward target* (the last
+        /// holder) the manager had processed when it sent this forward.
+        /// Lets the holder decide whether its own pending acquire is
+        /// ordered before this request (queue it) or after (the lock is
+        /// free locally; grant it) — without this the two orders are
+        /// indistinguishable and either mutual exclusion or progress
+        /// breaks.
+        holder_acquires_processed: u64,
     },
     /// Last holder (or manager) -> acquirer: the lock grant, carrying the
     /// write notices the acquirer is missing and any piggy-backed diffs.
@@ -191,7 +204,8 @@ mod tests {
 
     #[test]
     fn wire_bytes_scale_with_content() {
-        let small = TmkMessage::DiffRequest { req_id: 1, requester: 0, wants: vec![(PageId(1), vec![1])] };
+        let small =
+            TmkMessage::DiffRequest { req_id: 1, requester: 0, wants: vec![(PageId(1), vec![1])] };
         let large = TmkMessage::DiffRequest {
             req_id: 1,
             requester: 0,
@@ -206,7 +220,13 @@ mod tests {
         let twin = vec![0u8; PAGE_SIZE];
         let mut cur = twin.clone();
         cur[0..64].fill(3);
-        let record = DiffRecord { page: PageId(0), proc: 1, interval: 2, diff: Diff::create(&twin, &cur) };
+        let record = DiffRecord {
+            page: PageId(0),
+            proc: 1,
+            interval: 2,
+            rank: 2,
+            diff: Diff::create(&twin, &cur),
+        };
         assert!(record.wire_bytes() >= 64);
         let msg = TmkMessage::DiffResponse { req_id: 7, diffs: vec![record] };
         assert!(msg.wire_bytes() >= 64);
@@ -219,7 +239,11 @@ mod tests {
             proc: 1,
             vt: vt.clone(),
             notices: vec![WriteNotice { page: PageId(3), proc: 1, interval: 1 }],
-            sync_request: Some(SyncFetchRequest { proc: 1, vt: vt.clone(), pages: vec![PageId(3)] }),
+            sync_request: Some(SyncFetchRequest {
+                proc: 1,
+                vt: vt.clone(),
+                pages: vec![PageId(3)],
+            }),
         };
         let bare = TmkMessage::BarrierArrival { proc: 1, vt, notices: vec![], sync_request: None };
         assert!(arrival.wire_bytes() > bare.wire_bytes());

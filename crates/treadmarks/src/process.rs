@@ -1,0 +1,985 @@
+//! The per-processor runtime: checked accesses, the fault handler, locks,
+//! barriers, and the Figure-4 run-time primitives.
+//!
+//! A [`Process`] is one simulated processor's view of the DSM. The
+//! application closure passed to [`Dsm::run`](crate::Dsm::run) receives a
+//! `&mut Process` and performs every shared access through it:
+//!
+//! * [`Process::get`] / [`Process::set`] are the *checked software access
+//!   path* that replaces the mprotect/SIGSEGV mechanism of the original
+//!   system (see `DESIGN.md` for the substitution argument): each access
+//!   consults the page table and runs the fault handler on an invalid or
+//!   protected page;
+//! * [`Process::lock_acquire`] / [`Process::lock_release`] and
+//!   [`Process::barrier`] are the synchronization operations that drive
+//!   lazy release consistency;
+//! * [`Process::fetch_diffs`], [`Process::fetch_diffs_w_sync`],
+//!   [`Process::apply_fetch`], [`Process::create_twins`],
+//!   [`Process::write_enable`], [`Process::write_protect`] and
+//!   [`Process::push_exchange`] are the run-time primitives of Figure 4 of
+//!   the paper, out of which the `ctrt` crate composes the compiler-visible
+//!   `Validate` / `Validate_w_sync` / `Push` interface.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use msgnet::{Endpoint, Envelope, NodeId, Port};
+use pagedmem::{AddrRange, PageId, Protection, SharedAlloc, PAGE_SIZE};
+use sp2model::VirtualClock;
+
+use crate::config::DsmConfig;
+use crate::message::{DiffRecord, SyncFetchRequest, TmkMessage};
+use crate::notice::WriteNotice;
+use crate::server;
+use crate::sharedarray::{Shareable, SharedArray, SharedMatrix};
+use crate::state::{CachedDiff, DiffEntry, NodeShared};
+use crate::types::{Interval, LockId, ProcId, Vt};
+
+/// The barrier master (the paper assigns the distinguished roles to
+/// processor 0).
+const MASTER: ProcId = 0;
+
+/// Panic payload used when a processor unwinds because a *peer* panicked
+/// (the harness poisons every reply port so processors blocked in a
+/// collective do not wait forever). The harness filters these out so the
+/// panic it propagates to the caller is the root cause.
+pub(crate) struct PeerAbort;
+
+/// The synchronization operation a fetch can be merged with.
+///
+/// `Validate_w_sync` is only legal when the fetch is issued *at* a
+/// synchronization point — the consistency information (write notices) and
+/// the requested data then travel on the same messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOp {
+    /// Merge the fetch with the next barrier: the page request rides on the
+    /// barrier-arrival message and the diffs come back from each producer in
+    /// one aggregated message after the departure.
+    Barrier,
+    /// Merge the fetch with acquiring the given lock: the page request rides
+    /// on the acquire request and the last releaser piggybacks its diffs on
+    /// the grant.
+    Lock(LockId),
+}
+
+/// An in-flight aggregated diff fetch started by [`Process::fetch_diffs`].
+///
+/// The handle records which responses are outstanding; pass it to
+/// [`Process::apply_fetch`] to wait for them and install the diffs. Keeping
+/// issue and completion separate lets a caller overlap the fetch latency
+/// with local work, which is how the compiler interface hides misses.
+#[must_use = "a fetch completes only when passed to Process::apply_fetch"]
+#[derive(Debug)]
+pub struct FetchHandle {
+    /// Outstanding `(responder, request id)` pairs.
+    expected: Vec<(ProcId, u64)>,
+    /// Every page the fetch was asked to make valid.
+    pages: Vec<PageId>,
+}
+
+impl FetchHandle {
+    /// Number of outstanding response messages.
+    pub fn outstanding(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// The pages the fetch covers.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+}
+
+/// One simulated processor of a DSM run.
+///
+/// Created by [`Dsm::run`](crate::Dsm::run), one per node thread. All
+/// shared-memory access, synchronization and compiler-interface primitives
+/// go through this handle; every operation is charged to the node's virtual
+/// clock and counted in the shared statistics.
+pub struct Process {
+    endpoint: Arc<Endpoint<TmkMessage>>,
+    shared: Arc<NodeShared>,
+    clock: VirtualClock,
+    heap: SharedAlloc,
+    /// Reply-port messages received while waiting for something else.
+    pending: VecDeque<Envelope<TmkMessage>>,
+    next_req_id: u64,
+}
+
+impl Process {
+    pub(crate) fn new(
+        endpoint: Arc<Endpoint<TmkMessage>>,
+        shared: Arc<NodeShared>,
+        config: &DsmConfig,
+    ) -> Process {
+        Process {
+            endpoint,
+            shared,
+            clock: VirtualClock::new(),
+            heap: SharedAlloc::with_capacity(config.heap_capacity),
+            pending: VecDeque::new(),
+            next_req_id: 1,
+        }
+    }
+
+    /// This processor's id, `0..nprocs`.
+    pub fn proc_id(&self) -> ProcId {
+        self.endpoint.id().index()
+    }
+
+    /// Number of processors in the run.
+    pub fn nprocs(&self) -> usize {
+        self.endpoint.nodes()
+    }
+
+    /// The processor's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The node's statistics counters (shared with its protocol server).
+    pub fn stats(&self) -> &sp2model::SharedStats {
+        &self.shared.stats
+    }
+
+    /// The cluster cost model.
+    pub fn cost_model(&self) -> &sp2model::CostModel {
+        &self.shared.cost
+    }
+
+    /// Charges `cost` of application computation to this processor.
+    pub fn compute(&mut self, cost: sp2model::VirtualTime) {
+        self.clock.advance_compute(cost);
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates a shared array of `len` elements, page aligned.
+    ///
+    /// Every processor performs the same allocation sequence (SPMD style),
+    /// so the array lives at the same address on every node. Page alignment
+    /// mirrors what real TreadMarks programs arrange to minimise false
+    /// sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared heap is exhausted.
+    pub fn alloc_array<T: Shareable>(&mut self, len: usize) -> SharedArray<T> {
+        let range =
+            self.heap.alloc_array_page_aligned::<T>(len.max(1)).expect("shared heap exhausted");
+        SharedArray::new(range.start(), len)
+    }
+
+    /// Allocates a shared `rows x cols` matrix in column-major layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared heap is exhausted.
+    pub fn alloc_matrix<T: Shareable>(&mut self, rows: usize, cols: usize) -> SharedMatrix<T> {
+        let array = self.alloc_array::<T>(rows * cols);
+        SharedMatrix::new(array, rows, cols)
+    }
+
+    // ------------------------------------------------------------------
+    // The checked access path
+    // ------------------------------------------------------------------
+
+    /// Reads element `index` of `array` through the DSM consistency
+    /// protocol, faulting and fetching diffs if the page is not valid.
+    pub fn get<T: Shareable>(&mut self, array: &SharedArray<T>, index: usize) -> T {
+        let addr = array.addr_of(index);
+        self.ensure_valid(AddrRange::new(addr, T::BYTES), false);
+        let mut buf = [0u8; 8];
+        let table = self.shared.table.lock();
+        table.read_bytes(addr, &mut buf[..T::BYTES]);
+        T::load(&buf)
+    }
+
+    /// Writes element `index` of `array`, faulting (twin creation, write
+    /// enable) if the page is not writable.
+    pub fn set<T: Shareable>(&mut self, array: &SharedArray<T>, index: usize, value: T) {
+        let addr = array.addr_of(index);
+        self.ensure_valid(AddrRange::new(addr, T::BYTES), true);
+        let mut buf = [0u8; 8];
+        value.store(&mut buf[..T::BYTES]);
+        let mut table = self.shared.table.lock();
+        table.write_bytes(addr, &buf[..T::BYTES]);
+    }
+
+    /// Reads the bytes of `range` through the consistency protocol.
+    pub fn read_range(&mut self, range: AddrRange) -> Vec<u8> {
+        self.ensure_valid(range, false);
+        self.shared.table.lock().read_range(range)
+    }
+
+    /// Writes `data` at `range` through the consistency protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `range.len()` bytes.
+    pub fn write_range(&mut self, range: AddrRange, data: &[u8]) {
+        assert_eq!(data.len(), range.len(), "data must fill the range exactly");
+        self.ensure_valid(range, true);
+        self.shared.table.lock().write_bytes(range.start(), data);
+    }
+
+    /// Resolves faults so that every page of `range` allows the access.
+    fn ensure_valid(&mut self, range: AddrRange, is_write: bool) {
+        let pages: Vec<PageId> = range.pages().collect();
+        for page in pages {
+            self.resolve_fault(page, is_write);
+        }
+    }
+
+    /// The fault handler: runs when a checked access finds the page in a
+    /// state that does not allow it. One application access takes at most
+    /// one fault (the handler performs fetch, twin and enable together,
+    /// like the SIGSEGV handler of the original system).
+    fn resolve_fault(&mut self, page: PageId, is_write: bool) {
+        let outcome = self.shared.table.lock().check_access(page, is_write);
+        if !outcome.is_fault() {
+            return;
+        }
+        self.shared.stats.page_faults(1);
+        let pages_in_use = self.shared.table.lock().pages_in_use();
+        self.clock.advance(self.shared.cost.page_fault_cost(pages_in_use));
+        match outcome {
+            pagedmem::AccessOutcome::Unmapped | pagedmem::AccessOutcome::Invalid => {
+                let handle = self.fetch_diffs(&[AddrRange::page(page)]);
+                self.apply_fetch(handle);
+                if is_write {
+                    self.enable_write_after_fault(page);
+                }
+            }
+            pagedmem::AccessOutcome::WriteProtected => self.enable_write_after_fault(page),
+            pagedmem::AccessOutcome::Hit => unreachable!("hit is not a fault"),
+        }
+    }
+
+    /// Makes a valid page writable: twin (unless the page is under
+    /// `WRITE_ALL`), enable, and put it on the dirty list.
+    fn enable_write_after_fault(&mut self, page: PageId) {
+        let proto = self.shared.proto.lock();
+        let mut table = self.shared.table.lock();
+        if !proto.write_all_pages.contains(&page) && !table.has_twin(page) {
+            table.make_twin(page);
+            self.shared.stats.twins_created(1);
+            self.clock.advance(self.shared.cost.twin_cost(1));
+        }
+        let pages_in_use = table.pages_in_use();
+        table.set_protection(page, Protection::ReadWrite);
+        table.mark_dirty(page);
+        drop(table);
+        drop(proto);
+        self.shared.stats.protection_ops(1);
+        self.clock.advance(self.shared.cost.mprotect_cost(pages_in_use));
+    }
+
+    // ------------------------------------------------------------------
+    // Interval bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Ends the current interval: encodes a diff for every dirty page,
+    /// records the corresponding write notices locally, write-protects the
+    /// pages and advances this processor's component of the vector
+    /// timestamp. A no-op when nothing was written (empty diffs are elided
+    /// and produce no notices).
+    fn flush_interval(&mut self) {
+        let mut proto = self.shared.proto.lock();
+        let mut table = self.shared.table.lock();
+        let dirty = table.dirty_pages();
+        if dirty.is_empty() {
+            proto.write_all_pages.clear();
+            return;
+        }
+        let interval = proto.current_interval;
+        let me = proto.me;
+        // Happens-before rank of this interval: the timestamp it flushes
+        // with. Receivers use it to apply same-page diffs in causal order.
+        let rank = {
+            let mut vt_after = proto.vt.clone();
+            vt_after.advance(me, interval);
+            vt_after.sum()
+        };
+        let mut flushed_pages = Vec::new();
+        let mut delta_pages = 0usize;
+        let mut protect_ops = 0u64;
+        for page in dirty {
+            let entry = if proto.write_all_pages.contains(&page) {
+                Some(DiffEntry::FullPage)
+            } else {
+                match table.create_diff(page) {
+                    // Write-enabled but never actually modified (or only
+                    // remote diffs landed): elide the empty diff entirely.
+                    Some(diff) if diff.is_empty() => None,
+                    Some(diff) => {
+                        delta_pages += 1;
+                        Some(DiffEntry::Delta(diff))
+                    }
+                    // Dirty without a twin outside WRITE_ALL should not
+                    // happen; fall back to shipping the whole page.
+                    None => Some(DiffEntry::FullPage),
+                }
+            };
+            table.clear_dirty(page);
+            table.drop_twin(page);
+            table.set_protection(page, Protection::ReadOnly);
+            protect_ops += 1;
+            if let Some(entry) = entry {
+                proto.diff_cache.insert((page, interval), CachedDiff { entry, rank });
+                flushed_pages.push(page);
+            }
+        }
+        let pages_in_use = table.pages_in_use();
+        drop(table);
+        if !flushed_pages.is_empty() {
+            self.shared.stats.diffs_created(delta_pages as u64);
+            proto.notice_log.record(me, interval, flushed_pages);
+            proto.vt.advance(me, interval);
+            proto.current_interval += 1;
+        }
+        proto.write_all_pages.clear();
+        drop(proto);
+        self.shared.stats.protection_ops(protect_ops);
+        self.clock.advance(self.shared.cost.diff_create_cost(delta_pages));
+        self.clock.advance(self.shared.cost.mprotect_cost(pages_in_use).scale(protect_ops));
+    }
+
+    /// Records incoming write notices: appends them to the notice log, adds
+    /// the missing `(proc, interval)` diffs to the per-page missing lists
+    /// and invalidates the local copies. Duplicate notices are ignored.
+    fn record_notices(&mut self, notices: &[WriteNotice]) {
+        if notices.is_empty() {
+            return;
+        }
+        let mut proto = self.shared.proto.lock();
+        let mut table = self.shared.table.lock();
+        let me = proto.me;
+        let mut grouped: BTreeMap<(ProcId, Interval), Vec<PageId>> = BTreeMap::new();
+        for n in notices {
+            if n.proc == me {
+                continue;
+            }
+            grouped.entry((n.proc, n.interval)).or_default().push(n.page);
+        }
+        let mut recorded = 0u64;
+        let mut invalidations = 0u64;
+        let pages_in_use = table.pages_in_use();
+        for ((proc, interval), pages) in grouped {
+            if !proto.notice_log.record(proc, interval, pages.clone()) {
+                continue;
+            }
+            recorded += pages.len() as u64;
+            for page in pages {
+                proto.page_missing.entry(page).or_default().push((proc, interval));
+                match table.protection(page) {
+                    Protection::ReadOnly | Protection::ReadWrite => {
+                        table.set_protection(page, Protection::Invalid);
+                        invalidations += 1;
+                    }
+                    Protection::Unmapped | Protection::Invalid => {}
+                }
+            }
+        }
+        drop(table);
+        drop(proto);
+        self.shared.stats.write_notices(recorded);
+        self.shared.stats.protection_ops(invalidations);
+        self.clock.advance(self.shared.cost.mprotect_cost(pages_in_use).scale(invalidations));
+    }
+
+    /// Builds the vector timestamp advertised by a `Validate_w_sync`
+    /// request for `pages`: the processor's own timestamp, lowered so that
+    /// every still-missing diff of a requested page lies above it.
+    fn sync_vt(&self, pages: &[PageId]) -> Vt {
+        let proto = self.shared.proto.lock();
+        let mut vt = proto.vt.clone();
+        for page in pages {
+            if let Some(missing) = proto.page_missing.get(page) {
+                for &(proc, interval) in missing {
+                    vt.limit(proc, interval.saturating_sub(1));
+                }
+            }
+        }
+        vt
+    }
+
+    // ------------------------------------------------------------------
+    // Reply-port reception
+    // ------------------------------------------------------------------
+
+    /// Receives the next reply-port message satisfying `pred`, queueing any
+    /// other message (out-of-band barrier arrivals, early pushes) for later
+    /// in arrival order.
+    fn recv_reply(&mut self, pred: impl Fn(&TmkMessage) -> bool) -> Envelope<TmkMessage> {
+        if let Some(pos) = self.pending.iter().position(|e| pred(&e.payload)) {
+            return self.pending.remove(pos).expect("position is in range");
+        }
+        loop {
+            let env =
+                self.endpoint.recv(Port::Reply).expect("the cluster outlives its compute threads");
+            if matches!(env.payload, TmkMessage::Shutdown) {
+                // A peer panicked and the harness poisoned the reply ports;
+                // unwind with the marker so the harness reports the peer's
+                // panic, not this secondary abort.
+                std::panic::panic_any(PeerAbort);
+            }
+            if pred(&env.payload) {
+                return env;
+            }
+            self.pending.push_back(env);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Figure-4 primitives: aggregated diff fetches
+    // ------------------------------------------------------------------
+
+    /// Issues the aggregated diff requests needed to make every page of
+    /// `ranges` consistent, without waiting for the responses.
+    ///
+    /// All wanted `(page, interval)` pairs are grouped by the processor that
+    /// created the modification and sent as **one request message per
+    /// destination** — the aggregation that distinguishes `Validate` from a
+    /// sequence of page faults. Pages with no missing diffs cost nothing.
+    pub fn fetch_diffs(&mut self, ranges: &[AddrRange]) -> FetchHandle {
+        let mut pages: Vec<PageId> = ranges.iter().flat_map(AddrRange::pages).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        let mut per_proc: BTreeMap<ProcId, Vec<(PageId, Vec<Interval>)>> = BTreeMap::new();
+        {
+            let proto = self.shared.proto.lock();
+            for &page in &pages {
+                let Some(missing) = proto.page_missing.get(&page) else { continue };
+                let mut by_proc: BTreeMap<ProcId, Vec<Interval>> = BTreeMap::new();
+                for &(proc, interval) in missing {
+                    by_proc.entry(proc).or_default().push(interval);
+                }
+                for (proc, mut intervals) in by_proc {
+                    intervals.sort_unstable();
+                    per_proc.entry(proc).or_default().push((page, intervals));
+                }
+            }
+        }
+        let me = self.proc_id();
+        let mut expected = Vec::with_capacity(per_proc.len());
+        for (proc, wants) in per_proc {
+            debug_assert_ne!(proc, me, "a processor never misses its own diffs");
+            let req_id = self.next_req_id;
+            self.next_req_id += 1;
+            let msg = TmkMessage::DiffRequest { req_id, requester: me, wants };
+            let bytes = msg.wire_bytes();
+            self.endpoint.send(NodeId(proc), Port::Request, msg, bytes, self.clock.now(), true);
+            expected.push((proc, req_id));
+        }
+        FetchHandle { expected, pages }
+    }
+
+    /// Waits for the responses of a [`fetch_diffs`](Self::fetch_diffs),
+    /// applies the received diffs in timestamp order and revalidates the
+    /// fetched pages.
+    pub fn apply_fetch(&mut self, handle: FetchHandle) {
+        let mut records = Vec::new();
+        for (_, req_id) in &handle.expected {
+            let want = *req_id;
+            let env = self.recv_reply(
+                |m| matches!(m, TmkMessage::DiffResponse { req_id, .. } if *req_id == want),
+            );
+            self.clock.observe(env.arrives_at);
+            if let TmkMessage::DiffResponse { diffs, .. } = env.payload {
+                records.extend(diffs);
+            }
+        }
+        self.apply_diff_records(records);
+        self.revalidate_pages(&handle.pages);
+    }
+
+    /// Applies diff records that are still listed as missing, removing the
+    /// satisfied entries. Records for diffs that are not missing (already
+    /// applied, or piggybacked more broadly than needed) are dropped, which
+    /// keeps re-delivery harmless.
+    fn apply_diff_records(&mut self, mut records: Vec<DiffRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        records.sort_by_key(|r| (r.page, r.rank, r.proc, r.interval));
+        let mut proto = self.shared.proto.lock();
+        let mut table = self.shared.table.lock();
+        let mut applied = 0u64;
+        let mut full_pages = 0u64;
+        let mut apply_bytes = 0usize;
+        for record in records {
+            let Some(missing) = proto.page_missing.get_mut(&record.page) else { continue };
+            let Some(pos) =
+                missing.iter().position(|&(p, i)| p == record.proc && i == record.interval)
+            else {
+                continue;
+            };
+            missing.remove(pos);
+            if missing.is_empty() {
+                proto.page_missing.remove(&record.page);
+            }
+            table.apply_diff(record.page, &record.diff).expect("page-sized diff always applies");
+            applied += 1;
+            apply_bytes += record.diff.encoded_bytes();
+            if record.diff.modified_bytes() == PAGE_SIZE {
+                full_pages += 1;
+            }
+        }
+        drop(table);
+        drop(proto);
+        self.shared.stats.diffs_applied(applied);
+        self.shared.stats.full_page_fetches(full_pages);
+        self.clock.advance(self.shared.cost.diff_apply_cost(apply_bytes));
+    }
+
+    /// Restores a consistent protection state on `pages` after their
+    /// missing diffs were applied: pages with nothing missing become
+    /// readable (writable again if mid-interval modifications exist);
+    /// pages still missing diffs stay invalid.
+    fn revalidate_pages(&mut self, pages: &[PageId]) {
+        let proto = self.shared.proto.lock();
+        let mut table = self.shared.table.lock();
+        for &page in pages {
+            if proto.page_missing.contains_key(&page) {
+                // `apply_diff` may have freshly mapped the frame read-write;
+                // the page is not consistent yet, so make that explicit.
+                if table.is_mapped(page) {
+                    table.set_protection(page, Protection::Invalid);
+                }
+                continue;
+            }
+            let dirty = table.frame(page).map(|f| f.dirty).unwrap_or(false);
+            let target = if dirty { Protection::ReadWrite } else { Protection::ReadOnly };
+            match table.protection(page) {
+                Protection::Unmapped => {
+                    // First touch of a page nobody has written: materialise
+                    // it zero-filled, like fresh anonymous memory.
+                    table.map_zeroed(page, Protection::ReadOnly);
+                }
+                _ => table.set_protection(page, target),
+            }
+        }
+    }
+
+    /// Merges an aggregated fetch of `ranges` with a synchronization
+    /// operation (the run-time half of `Validate_w_sync`).
+    ///
+    /// For [`SyncOp::Lock`], the page list rides on the acquire request and
+    /// the last releaser piggybacks its diffs on the grant; diffs owned by
+    /// third processors are fetched afterwards in aggregated messages. For
+    /// [`SyncOp::Barrier`], the request rides on the barrier arrival, is
+    /// redistributed with the departure, and every producer answers with at
+    /// most one aggregated `SyncDiffs` message.
+    pub fn fetch_diffs_w_sync(&mut self, sync: SyncOp, ranges: &[AddrRange]) {
+        let mut pages: Vec<PageId> = ranges.iter().flat_map(AddrRange::pages).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        match sync {
+            SyncOp::Barrier => self.barrier_sync(&pages),
+            SyncOp::Lock(lock) => self.lock_acquire_sync(lock, &pages),
+        }
+        // Anything the synchronization partner did not hold (third-party
+        // writers after a lock acquire) is fetched in aggregated messages.
+        let handle = self.fetch_diffs(ranges);
+        self.apply_fetch(handle);
+    }
+
+    // ------------------------------------------------------------------
+    // Figure-4 primitives: write preparation
+    // ------------------------------------------------------------------
+
+    /// Creates twins for every page of `ranges` that does not have one,
+    /// in one batch (the cost of the copies is charged, but no faults are
+    /// taken).
+    pub fn create_twins(&mut self, ranges: &[AddrRange]) {
+        let proto = self.shared.proto.lock();
+        let mut table = self.shared.table.lock();
+        let mut twinned = 0u64;
+        for range in ranges {
+            for page in range.pages() {
+                if proto.write_all_pages.contains(&page) {
+                    continue;
+                }
+                if table.make_twin(page) {
+                    twinned += 1;
+                }
+            }
+        }
+        drop(table);
+        drop(proto);
+        self.shared.stats.twins_created(twinned);
+        self.clock.advance(self.shared.cost.twin_cost(twinned as usize));
+    }
+
+    /// Write-enables every page of `ranges` without taking faults, putting
+    /// them on the dirty list. One protection operation is charged per
+    /// contiguous range (the aggregation a single `mprotect` call gives the
+    /// original system).
+    ///
+    /// With `write_all` the compiler asserts that the application overwrites
+    /// every byte of the ranges before the next release: no twin is kept,
+    /// no old contents are fetched, and any missing diffs for fully covered
+    /// pages are discarded (the flush then ships the whole page). The
+    /// `WRITE_ALL` treatment is applied only to pages a range covers
+    /// *entirely*; partially covered boundary pages are left untouched and
+    /// take the ordinary fault path (twin + fetch), because discarding
+    /// their missing diffs would lose remote writes to the uncovered bytes.
+    pub fn write_enable(&mut self, ranges: &[AddrRange], write_all: bool) {
+        let mut proto = self.shared.proto.lock();
+        let mut table = self.shared.table.lock();
+        let pages_in_use = table.pages_in_use();
+        let mut twinned = 0u64;
+        for range in ranges {
+            for page in range.pages() {
+                if write_all {
+                    let fully_covered = range.start() <= page.base() && page.end() <= range.end();
+                    if !fully_covered {
+                        continue;
+                    }
+                    proto.write_all_pages.insert(page);
+                    proto.page_missing.remove(&page);
+                    table.frame_or_map(page);
+                } else if !proto.write_all_pages.contains(&page) && !table.has_twin(page) {
+                    table.make_twin(page);
+                    twinned += 1;
+                }
+                table.set_protection(page, Protection::ReadWrite);
+                table.mark_dirty(page);
+            }
+        }
+        drop(table);
+        drop(proto);
+        self.shared.stats.twins_created(twinned);
+        self.clock.advance(self.shared.cost.twin_cost(twinned as usize));
+        self.shared.stats.protection_ops(ranges.len() as u64);
+        self.clock.advance(self.shared.cost.mprotect_cost(pages_in_use).scale(ranges.len() as u64));
+    }
+
+    /// Write-protects every mapped page of `ranges`, one protection
+    /// operation per contiguous range.
+    pub fn write_protect(&mut self, ranges: &[AddrRange]) {
+        let mut table = self.shared.table.lock();
+        let pages_in_use = table.pages_in_use();
+        for range in ranges {
+            for page in range.pages() {
+                if table.is_mapped(page) && table.protection(page) == Protection::ReadWrite {
+                    table.set_protection(page, Protection::ReadOnly);
+                }
+            }
+        }
+        drop(table);
+        self.shared.stats.protection_ops(ranges.len() as u64);
+        self.clock.advance(self.shared.cost.mprotect_cost(pages_in_use).scale(ranges.len() as u64));
+    }
+
+    // ------------------------------------------------------------------
+    // Figure-4 primitives: push
+    // ------------------------------------------------------------------
+
+    /// Point-to-point data exchange replacing a barrier in a fully
+    /// analyzable phase: the contents of each range in `sends` travel
+    /// directly to their consumer, and one `PushData` message is awaited
+    /// from every processor in `recv_from`. Received bytes are installed in
+    /// place — no twins, diffs, write notices or invalidations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a destination or source is out of range or is this
+    /// processor itself.
+    pub fn push_exchange(&mut self, sends: &[(ProcId, Vec<AddrRange>)], recv_from: &[ProcId]) {
+        let me = self.proc_id();
+        for &(dest, ref ranges) in sends {
+            assert_ne!(dest, me, "a processor does not push to itself");
+            let chunks: Vec<(AddrRange, Vec<u8>)> = {
+                let table = self.shared.table.lock();
+                AddrRange::coalesce(ranges.clone())
+                    .into_iter()
+                    .map(|r| (r, table.read_range(r)))
+                    .collect()
+            };
+            let msg = TmkMessage::PushData { from: me, chunks };
+            let bytes = msg.wire_bytes();
+            self.endpoint.send(NodeId(dest), Port::Reply, msg, bytes, self.clock.now(), true);
+        }
+        let mut outstanding: HashSet<ProcId> = recv_from.iter().copied().collect();
+        assert!(!outstanding.contains(&me), "a processor does not receive its own push");
+        while !outstanding.is_empty() {
+            let env = self.recv_reply(
+                |m| matches!(m, TmkMessage::PushData { from, .. } if outstanding.contains(from)),
+            );
+            self.clock.observe(env.arrives_at);
+            let TmkMessage::PushData { from, chunks } = env.payload else { unreachable!() };
+            outstanding.remove(&from);
+            let mut table = self.shared.table.lock();
+            for (range, data) in chunks {
+                table.write_bytes(range.start(), &data);
+                for page in range.pages() {
+                    if table.protection(page) == Protection::Unmapped {
+                        table.set_protection(page, Protection::ReadOnly);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Locks
+    // ------------------------------------------------------------------
+
+    /// Acquires `lock`, receiving the write notices (and invalidations)
+    /// required by lazy release consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this processor already holds the lock.
+    pub fn lock_acquire(&mut self, lock: LockId) {
+        self.lock_acquire_sync(lock, &[]);
+    }
+
+    fn lock_acquire_sync(&mut self, lock: LockId, sync_pages: &[PageId]) {
+        self.shared.stats.lock_acquires(1);
+        let me = self.proc_id();
+        let (manager, request_vt) = {
+            let mut proto = self.shared.proto.lock();
+            assert!(!proto.held_locks.contains(&lock), "lock {lock} acquired re-entrantly");
+            // Mark the acquire as in flight *before* the request leaves:
+            // our server thread must queue (not grant) forwarded requests
+            // for this lock that the manager ordered after ours, until the
+            // grant has been consumed.
+            proto.pending_acquires.insert(lock);
+            *proto.lock_requests_sent.entry(lock).or_insert(0) += 1;
+            (crate::state::ProtoState::lock_manager(lock, proto.nprocs), proto.vt.clone())
+        };
+        let request_vt = if sync_pages.is_empty() { request_vt } else { self.sync_vt(sync_pages) };
+        let msg = TmkMessage::LockAcquireRequest {
+            lock,
+            requester: me,
+            vt: request_vt,
+            sync_pages: sync_pages.to_vec(),
+        };
+        let bytes = msg.wire_bytes();
+        self.endpoint.send(NodeId(manager), Port::Request, msg, bytes, self.clock.now(), true);
+        let env =
+            self.recv_reply(|m| matches!(m, TmkMessage::LockGrant { lock: l, .. } if *l == lock));
+        self.clock.observe(env.arrives_at);
+        let TmkMessage::LockGrant { granter_vt, notices, piggyback, .. } = env.payload else {
+            unreachable!()
+        };
+        self.record_notices(&notices);
+        {
+            let mut proto = self.shared.proto.lock();
+            proto.vt.merge(&granter_vt);
+            proto.pending_acquires.remove(&lock);
+            proto.held_locks.insert(lock);
+        }
+        let pages: Vec<PageId> = piggyback.iter().map(|r| r.page).collect();
+        self.apply_diff_records(piggyback);
+        self.revalidate_pages(&pages);
+    }
+
+    /// Releases `lock`, ending the current interval and granting the lock
+    /// to any queued requester (carrying the write notices they miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this processor does not hold the lock.
+    pub fn lock_release(&mut self, lock: LockId) {
+        self.flush_interval();
+        let pending = {
+            let mut proto = self.shared.proto.lock();
+            assert!(proto.held_locks.remove(&lock), "releasing a lock that is not held");
+            proto.pending_lock_requests.remove(&lock).unwrap_or_default()
+        };
+        for req in pending {
+            let at = req.arrived_at.max(self.clock.now());
+            server::send_grant(
+                &self.endpoint,
+                &self.shared,
+                lock,
+                req.requester,
+                &req.requester_vt,
+                &req.sync_pages,
+                at,
+                true,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers
+    // ------------------------------------------------------------------
+
+    /// Global barrier: ends the current interval, exchanges write notices
+    /// through the barrier master (processor 0) and leaves every processor
+    /// with the merged global vector timestamp.
+    pub fn barrier(&mut self) {
+        self.barrier_sync(&[]);
+    }
+
+    fn barrier_sync(&mut self, sync_pages: &[PageId]) {
+        self.flush_interval();
+        self.shared.stats.barriers(1);
+        let n = self.nprocs();
+        if n == 1 {
+            self.clock.advance(self.shared.cost.barrier_local_cost());
+            return;
+        }
+        let me = self.proc_id();
+        let my_request = if sync_pages.is_empty() {
+            None
+        } else {
+            Some(SyncFetchRequest {
+                proc: me,
+                vt: self.sync_vt(sync_pages),
+                pages: sync_pages.to_vec(),
+            })
+        };
+        let my_sync_vt = my_request.as_ref().map(|r| r.vt.clone());
+        let requests = if me == MASTER {
+            self.barrier_master(my_request)
+        } else {
+            self.barrier_client(my_request)
+        };
+        self.serve_sync_requests(&requests);
+        if let Some(vt) = my_sync_vt {
+            self.collect_sync_diffs(sync_pages, &vt);
+        }
+        self.clock.advance(self.shared.cost.barrier_local_cost());
+    }
+
+    /// Master side of the barrier: collect every arrival, merge timestamps
+    /// and notices, and send each client a departure with exactly the
+    /// notices it misses plus all piggybacked fetch requests.
+    fn barrier_master(&mut self, my_request: Option<SyncFetchRequest>) -> Vec<SyncFetchRequest> {
+        let n = self.nprocs();
+        let mut sync_requests: Vec<SyncFetchRequest> = my_request.into_iter().collect();
+        let mut arrivals: Vec<(ProcId, Vt)> = Vec::with_capacity(n - 1);
+        for _ in 1..n {
+            let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierArrival { .. }));
+            self.clock.observe(env.arrives_at);
+            let TmkMessage::BarrierArrival { proc, vt, notices, sync_request } = env.payload else {
+                unreachable!()
+            };
+            self.record_notices(&notices);
+            self.shared.proto.lock().vt.merge(&vt);
+            if let Some(req) = sync_request {
+                sync_requests.push(req);
+            }
+            arrivals.push((proc, vt));
+        }
+        self.clock.advance(self.shared.cost.barrier_master_cost(n));
+        let departures: Vec<(ProcId, TmkMessage)> = {
+            let mut proto = self.shared.proto.lock();
+            let global_vt = proto.vt.clone();
+            proto.last_global_vt = global_vt.clone();
+            arrivals
+                .into_iter()
+                .map(|(proc, vt)| {
+                    let msg = TmkMessage::BarrierDeparture {
+                        global_vt: global_vt.clone(),
+                        notices: proto.notice_log.notices_after(&vt),
+                        sync_requests: sync_requests.clone(),
+                    };
+                    (proc, msg)
+                })
+                .collect()
+        };
+        for (proc, msg) in departures {
+            let bytes = msg.wire_bytes();
+            self.endpoint.send(NodeId(proc), Port::Reply, msg, bytes, self.clock.now(), true);
+        }
+        sync_requests
+    }
+
+    /// Client side of the barrier: announce the flushed interval to the
+    /// master and apply the departure.
+    fn barrier_client(&mut self, my_request: Option<SyncFetchRequest>) -> Vec<SyncFetchRequest> {
+        let me = self.proc_id();
+        let (vt, notices) = {
+            let proto = self.shared.proto.lock();
+            (proto.vt.clone(), proto.notice_log.notices_after(&proto.last_global_vt))
+        };
+        let msg = TmkMessage::BarrierArrival { proc: me, vt, notices, sync_request: my_request };
+        let bytes = msg.wire_bytes();
+        self.endpoint.send(NodeId(MASTER), Port::Reply, msg, bytes, self.clock.now(), true);
+        let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierDeparture { .. }));
+        self.clock.observe(env.arrives_at);
+        let TmkMessage::BarrierDeparture { global_vt, notices, sync_requests } = env.payload else {
+            unreachable!()
+        };
+        self.record_notices(&notices);
+        {
+            let mut proto = self.shared.proto.lock();
+            proto.vt.merge(&global_vt);
+            proto.last_global_vt = global_vt;
+        }
+        sync_requests
+    }
+
+    /// Answers the piggybacked fetch requests of other processors: the
+    /// diffs this node created for the requested pages, newer than the
+    /// requester's advertised timestamp, in one aggregated message.
+    fn serve_sync_requests(&mut self, requests: &[SyncFetchRequest]) {
+        let me = self.proc_id();
+        for req in requests {
+            if req.proc == me {
+                continue;
+            }
+            self.clock.advance(self.shared.cost.sync_merge_scan_cost(req.pages.len()));
+            let records = {
+                let proto = self.shared.proto.lock();
+                let table = self.shared.table.lock();
+                proto.diffs_for_pages_after(&req.pages, &req.vt, &table)
+            };
+            if records.is_empty() {
+                continue;
+            }
+            let msg = TmkMessage::SyncDiffs { from: me, diffs: records };
+            let bytes = msg.wire_bytes();
+            self.endpoint.send(NodeId(req.proc), Port::Reply, msg, bytes, self.clock.now(), true);
+        }
+    }
+
+    /// Waits for the `SyncDiffs` messages answering this processor's own
+    /// piggybacked request and installs them. The expected responders are
+    /// derived from the (post-barrier, complete) notice log: every other
+    /// processor with a recorded modification of a requested page above the
+    /// advertised timestamp will send exactly one message.
+    fn collect_sync_diffs(&mut self, pages: &[PageId], sync_vt: &Vt) {
+        let me = self.proc_id();
+        let page_set: HashSet<PageId> = pages.iter().copied().collect();
+        let mut outstanding: HashSet<ProcId> = {
+            let proto = self.shared.proto.lock();
+            proto
+                .notice_log
+                .notices_after(sync_vt)
+                .into_iter()
+                .filter(|n| n.proc != me && page_set.contains(&n.page))
+                .map(|n| n.proc)
+                .collect()
+        };
+        while !outstanding.is_empty() {
+            let env = self.recv_reply(
+                |m| matches!(m, TmkMessage::SyncDiffs { from, .. } if outstanding.contains(from)),
+            );
+            self.clock.observe(env.arrives_at);
+            let TmkMessage::SyncDiffs { from, diffs } = env.payload else { unreachable!() };
+            outstanding.remove(&from);
+            self.apply_diff_records(diffs);
+        }
+        self.revalidate_pages(pages);
+    }
+}
+
+impl fmt::Debug for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Process")
+            .field("proc_id", &self.proc_id())
+            .field("nprocs", &self.nprocs())
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}

@@ -13,7 +13,9 @@ use pagedmem::PageId;
 use sp2model::VirtualTime;
 
 use crate::message::{DiffRecord, TmkMessage};
-use crate::state::{full_page_diff, DiffEntry, NodeShared, PendingLockRequest, ProtoState};
+use crate::state::{
+    full_page_diff, CachedDiff, DiffEntry, NodeShared, PendingLockRequest, ProtoState,
+};
 use crate::types::{Interval, LockId, ProcId, Vt};
 
 /// Runs a node's protocol server until a [`TmkMessage::Shutdown`] arrives.
@@ -31,10 +33,27 @@ pub(crate) fn server_loop(endpoint: Arc<Endpoint<TmkMessage>>, shared: Arc<NodeS
                 handle_diff_request(&endpoint, &shared, req_id, requester, &wants, arrived_at);
             }
             TmkMessage::LockAcquireRequest { lock, requester, vt, sync_pages } => {
-                handle_lock_acquire(&endpoint, &shared, lock, requester, vt, sync_pages, arrived_at);
+                handle_lock_acquire(
+                    &endpoint, &shared, lock, requester, vt, sync_pages, arrived_at,
+                );
             }
-            TmkMessage::LockForward { lock, requester, vt, sync_pages } => {
-                handle_lock_forward(&endpoint, &shared, lock, requester, vt, sync_pages, arrived_at);
+            TmkMessage::LockForward {
+                lock,
+                requester,
+                vt,
+                sync_pages,
+                holder_acquires_processed,
+            } => {
+                handle_lock_forward(
+                    &endpoint,
+                    &shared,
+                    lock,
+                    requester,
+                    vt,
+                    sync_pages,
+                    arrived_at,
+                    holder_acquires_processed,
+                );
             }
             // All other message kinds travel on the reply port.
             other => unreachable!("unexpected message on request port: {other:?}"),
@@ -59,22 +78,22 @@ fn handle_diff_request(
     let mut materialised_pages = 0;
     for (page, intervals) in wants {
         for &interval in intervals {
-            let diff = match proto.diff_cache.get(&(*page, interval)) {
-                Some(DiffEntry::Delta(diff)) => diff.clone(),
-                Some(DiffEntry::FullPage) => {
+            let (diff, rank) = match proto.diff_cache.get(&(*page, interval)) {
+                Some(CachedDiff { entry: DiffEntry::Delta(diff), rank }) => (diff.clone(), *rank),
+                Some(CachedDiff { entry: DiffEntry::FullPage, rank }) => {
                     materialised_pages += 1;
-                    full_page_diff(&table, *page)
+                    (full_page_diff(&table, *page), *rank)
                 }
                 // The diff is gone or was never recorded (e.g. a notice
                 // relayed for an interval we already folded away); fall back
                 // to the current page contents, which is always at least as
-                // new as the requested interval.
+                // new as the requested interval — rank it accordingly.
                 None => {
                     materialised_pages += 1;
-                    full_page_diff(&table, *page)
+                    (full_page_diff(&table, *page), proto.vt.sum())
                 }
             };
-            diffs.push(DiffRecord { page: *page, proc: proto.me, interval, diff });
+            diffs.push(DiffRecord { page: *page, proc: proto.me, interval, rank, diff });
         }
     }
     drop(table);
@@ -82,7 +101,8 @@ fn handle_diff_request(
 
     let reply = TmkMessage::DiffResponse { req_id, diffs };
     let bytes = reply.wire_bytes();
-    let service = shared.cost.request_service_cost() + shared.cost.diff_create_cost(materialised_pages);
+    let service =
+        shared.cost.request_service_cost() + shared.cost.diff_create_cost(materialised_pages);
     endpoint.send(NodeId(requester), Port::Reply, reply, bytes, arrived_at + service, true);
 }
 
@@ -100,33 +120,61 @@ fn handle_lock_acquire(
     arrived_at: VirtualTime,
 ) {
     let mut proto = shared.proto.lock();
-    debug_assert_eq!(ProtoState::lock_manager(lock, proto.nprocs), proto.me, "lock request routed to the wrong manager");
+    debug_assert_eq!(
+        ProtoState::lock_manager(lock, proto.nprocs),
+        proto.me,
+        "lock request routed to the wrong manager"
+    );
     let me = proto.me;
+    *proto.lock_requests_processed.entry((lock, requester)).or_insert(0) += 1;
     let last_holder = proto.lock_last_holder.get(&lock).copied();
     proto.lock_last_holder.insert(lock, requester);
-    drop(proto);
+    let holder_processed = |proto: &ProtoState, holder: ProcId| {
+        proto.lock_requests_processed.get(&(lock, holder)).copied().unwrap_or(0)
+    };
     match last_holder {
         // First acquisition, or re-acquisition by the last holder: no new
         // happens-before edge to transfer, the manager grants directly.
-        None => send_grant(endpoint, shared, lock, requester, &vt, &sync_pages, arrived_at, false),
+        None => {
+            drop(proto);
+            send_grant(endpoint, shared, lock, requester, &vt, &sync_pages, arrived_at, false);
+        }
         Some(holder) if holder == requester => {
+            drop(proto);
             send_grant(endpoint, shared, lock, requester, &vt, &sync_pages, arrived_at, false);
         }
         // The manager itself was the last holder; behave like any holder.
         Some(holder) if holder == me => {
-            handle_lock_forward(endpoint, shared, lock, requester, vt, sync_pages, arrived_at);
+            let processed = holder_processed(&proto, me);
+            drop(proto);
+            handle_lock_forward(
+                endpoint, shared, lock, requester, vt, sync_pages, arrived_at, processed,
+            );
         }
         // Forward to the last holder, which replies to the requester
         // directly (the TreadMarks three-hop protocol).
         Some(holder) => {
-            forward_lock_request(endpoint, shared, holder, lock, requester, vt, sync_pages, arrived_at);
+            let processed = holder_processed(&proto, holder);
+            drop(proto);
+            forward_lock_request(
+                endpoint, shared, holder, lock, requester, vt, sync_pages, arrived_at, processed,
+            );
         }
     }
 }
 
 /// Handles a forwarded acquire request at the last holder: grant immediately
-/// if the lock has been released, otherwise queue the request until the
+/// if the lock is free here, otherwise queue the request until the
 /// application releases the lock.
+///
+/// "Free here" needs care: this node may itself have an acquire in flight.
+/// If the manager had already processed that acquire when it sent this
+/// forward (`holder_acquires_processed` covers it), our grant is on its way
+/// and granting now would give the lock to two processors — queue instead.
+/// If the manager had *not* yet seen our request, our acquire is ordered
+/// after this one and the lock really is free here; queueing would
+/// deadlock the two of us against each other, so grant.
+#[allow(clippy::too_many_arguments)]
 fn handle_lock_forward(
     endpoint: &Endpoint<TmkMessage>,
     shared: &NodeShared,
@@ -135,14 +183,18 @@ fn handle_lock_forward(
     vt: Vt,
     sync_pages: Vec<PageId>,
     arrived_at: VirtualTime,
+    holder_acquires_processed: u64,
 ) {
     let mut proto = shared.proto.lock();
-    if proto.held_locks.contains(&lock) {
-        proto
-            .pending_lock_requests
-            .entry(lock)
-            .or_default()
-            .push(PendingLockRequest { requester, requester_vt: vt, sync_pages, arrived_at });
+    let grant_in_flight = proto.pending_acquires.contains(&lock)
+        && holder_acquires_processed >= proto.lock_requests_sent.get(&lock).copied().unwrap_or(0);
+    if proto.held_locks.contains(&lock) || grant_in_flight {
+        proto.pending_lock_requests.entry(lock).or_default().push(PendingLockRequest {
+            requester,
+            requester_vt: vt,
+            sync_pages,
+            arrived_at,
+        });
         return;
     }
     drop(proto);
@@ -154,7 +206,8 @@ fn handle_lock_forward(
 ///
 /// `with_notices` distinguishes grants that transfer a happens-before edge
 /// (from a previous holder) from first-acquisition grants by the manager.
-fn send_grant(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn send_grant(
     endpoint: &Endpoint<TmkMessage>,
     shared: &NodeShared,
     lock: LockId,
@@ -185,6 +238,7 @@ fn send_grant(
 }
 
 /// Forwards a lock-acquire request from the manager to the last holder.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn forward_lock_request(
     endpoint: &Endpoint<TmkMessage>,
     shared: &NodeShared,
@@ -194,8 +248,10 @@ pub(crate) fn forward_lock_request(
     vt: Vt,
     sync_pages: Vec<PageId>,
     arrived_at: VirtualTime,
+    holder_acquires_processed: u64,
 ) {
-    let forward = TmkMessage::LockForward { lock, requester, vt, sync_pages };
+    let forward =
+        TmkMessage::LockForward { lock, requester, vt, sync_pages, holder_acquires_processed };
     let bytes = forward.wire_bytes();
     let service = shared.cost.lock_manager_cost();
     endpoint.send(NodeId(holder), Port::Request, forward, bytes, arrived_at + service, true);

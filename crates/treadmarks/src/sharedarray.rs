@@ -103,7 +103,11 @@ impl<T: Shareable> SharedArray<T> {
     ///
     /// Panics if `lo > hi` or `hi > len`.
     pub fn range_of(&self, lo: usize, hi: usize) -> AddrRange {
-        assert!(lo <= hi && hi <= self.len, "invalid element range {lo}..{hi} for length {}", self.len);
+        assert!(
+            lo <= hi && hi <= self.len,
+            "invalid element range {lo}..{hi} for length {}",
+            self.len
+        );
         AddrRange::new(self.base.offset(lo * T::BYTES), (hi - lo) * T::BYTES)
     }
 
@@ -158,7 +162,12 @@ impl<T: Shareable> SharedMatrix<T> {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) out of bounds for {}x{} matrix", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         col * self.rows + row
     }
 

@@ -9,8 +9,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use dsm_core::sync::Mutex;
 use pagedmem::{Diff, PageId, PageTable};
-use parking_lot::Mutex;
 use sp2model::{CostModel, SharedStats, VirtualTime};
 
 use crate::message::DiffRecord;
@@ -26,6 +26,15 @@ pub(crate) enum DiffEntry {
     /// kept, so requests are answered with a copy of the whole page (which is
     /// correct because the compiler asserted the entire page is overwritten).
     FullPage,
+}
+
+/// A cached interval diff plus the happens-before rank of its interval
+/// (the flushing timestamp's [`Vt::sum`]), shipped with every
+/// [`DiffRecord`] so receivers can apply same-page diffs in causal order.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedDiff {
+    pub entry: DiffEntry,
+    pub rank: u64,
 }
 
 /// A lock-acquire request queued at the current holder until it releases.
@@ -55,7 +64,7 @@ pub(crate) struct ProtoState {
     /// locally.
     pub page_missing: HashMap<PageId, Vec<(ProcId, Interval)>>,
     /// Diffs this node created, by page and interval.
-    pub diff_cache: HashMap<(PageId, Interval), DiffEntry>,
+    pub diff_cache: HashMap<(PageId, Interval), CachedDiff>,
     /// Pages of the current interval written under `WRITE_ALL` (no twin).
     pub write_all_pages: HashSet<PageId>,
     /// The global vector timestamp distributed at the last barrier departure.
@@ -64,6 +73,21 @@ pub(crate) struct ProtoState {
     pub lock_last_holder: HashMap<LockId, ProcId>,
     /// Locks currently held by this node's application.
     pub held_locks: HashSet<LockId>,
+    /// Locks this node's application has requested but whose grant it has
+    /// not yet consumed. The manager records us as last holder the moment
+    /// it processes our request, so a forwarded request for the same lock
+    /// can reach our server thread *before* our compute thread pops the
+    /// grant — it must be queued, not granted, or mutual exclusion breaks.
+    pub pending_acquires: HashSet<LockId>,
+    /// Node role: how many acquire requests this node has sent per lock.
+    /// Compared against the manager's processed count carried on forwards
+    /// to decide whether a pending local acquire is ordered before (queue
+    /// the forward) or after (the lock is free here; grant) the forwarded
+    /// request.
+    pub lock_requests_sent: HashMap<LockId, u64>,
+    /// Manager role: how many acquire requests have been processed per
+    /// `(lock, requester)`.
+    pub lock_requests_processed: HashMap<(LockId, ProcId), u64>,
     /// Forwarded acquire requests waiting for this node to release the lock.
     pub pending_lock_requests: HashMap<LockId, Vec<PendingLockRequest>>,
 }
@@ -82,6 +106,9 @@ impl ProtoState {
             last_global_vt: Vt::new(nprocs),
             lock_last_holder: HashMap::new(),
             held_locks: HashSet::new(),
+            pending_acquires: HashSet::new(),
+            lock_requests_sent: HashMap::new(),
+            lock_requests_processed: HashMap::new(),
             pending_lock_requests: HashMap::new(),
         }
     }
@@ -94,18 +121,31 @@ impl ProtoState {
     /// Collects the diff records this node holds for `pages`, restricted to
     /// intervals newer than `vt`'s view of this node. Used for lock-grant and
     /// barrier piggy-backing (`Validate_w_sync`).
-    pub(crate) fn diffs_for_pages_after(&self, pages: &[PageId], vt: &Vt, table: &PageTable) -> Vec<DiffRecord> {
+    pub(crate) fn diffs_for_pages_after(
+        &self,
+        pages: &[PageId],
+        vt: &Vt,
+        table: &PageTable,
+    ) -> Vec<DiffRecord> {
         let seen = vt.get(self.me);
         let mut out = Vec::new();
         for &page in pages {
             // Intervals this node created for the page and the requester has
             // not yet incorporated.
-            for ((p, interval), entry) in self.diff_cache.iter().filter(|((p, i), _)| *p == page && *i > seen) {
-                let diff = match entry {
+            for ((p, interval), cached) in
+                self.diff_cache.iter().filter(|((p, i), _)| *p == page && *i > seen)
+            {
+                let diff = match &cached.entry {
                     DiffEntry::Delta(diff) => diff.clone(),
                     DiffEntry::FullPage => full_page_diff(table, *p),
                 };
-                out.push(DiffRecord { page: *p, proc: self.me, interval: *interval, diff });
+                out.push(DiffRecord {
+                    page: *p,
+                    proc: self.me,
+                    interval: *interval,
+                    rank: cached.rank,
+                    diff,
+                });
             }
         }
         out.sort_by_key(|r| (r.page, r.interval));
@@ -139,7 +179,12 @@ pub(crate) struct NodeShared {
 }
 
 impl NodeShared {
-    pub(crate) fn new(me: ProcId, nprocs: usize, cost: CostModel, stats: SharedStats) -> NodeShared {
+    pub(crate) fn new(
+        me: ProcId,
+        nprocs: usize,
+        cost: CostModel,
+        stats: SharedStats,
+    ) -> NodeShared {
         NodeShared {
             table: Mutex::new(PageTable::new()),
             proto: Mutex::new(ProtoState::new(me, nprocs)),
@@ -168,8 +213,14 @@ mod tests {
         let twin = vec![0u8; PAGE_SIZE];
         let mut cur = twin.clone();
         cur[0] = 1;
-        proto.diff_cache.insert((PageId(3), 1), DiffEntry::Delta(Diff::create(&twin, &cur)));
-        proto.diff_cache.insert((PageId(3), 2), DiffEntry::Delta(Diff::create(&twin, &cur)));
+        proto.diff_cache.insert(
+            (PageId(3), 1),
+            CachedDiff { entry: DiffEntry::Delta(Diff::create(&twin, &cur)), rank: 1 },
+        );
+        proto.diff_cache.insert(
+            (PageId(3), 2),
+            CachedDiff { entry: DiffEntry::Delta(Diff::create(&twin, &cur)), rank: 2 },
+        );
 
         // A requester that has already seen interval 1 of proc 0.
         let mut vt = Vt::new(2);
@@ -188,7 +239,7 @@ mod tests {
         let mut proto = ProtoState::new(1, 2);
         let mut table = PageTable::new();
         table.write_bytes(PageId(7).base(), &[9, 9, 9, 9]);
-        proto.diff_cache.insert((PageId(7), 1), DiffEntry::FullPage);
+        proto.diff_cache.insert((PageId(7), 1), CachedDiff { entry: DiffEntry::FullPage, rank: 1 });
         let records = proto.diffs_for_pages_after(&[PageId(7)], &Vt::new(2), &table);
         assert_eq!(records.len(), 1);
         let mut page = vec![0u8; PAGE_SIZE];

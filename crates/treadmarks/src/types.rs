@@ -54,6 +54,19 @@ impl Vt {
         }
     }
 
+    /// Lowers component `p` to `interval` if it currently exceeds it.
+    ///
+    /// Used when building the timestamp of a `Validate_w_sync` request: the
+    /// requester's real timestamp records the notices it has *seen*, but the
+    /// request must advertise the oldest interval whose diff has not been
+    /// *applied* to the requested pages, so components are lowered to just
+    /// below each still-missing interval.
+    pub fn limit(&mut self, p: ProcId, interval: Interval) {
+        if interval < self.0[p] {
+            self.0[p] = interval;
+        }
+    }
+
     /// Component-wise maximum with another timestamp.
     pub fn merge(&mut self, other: &Vt) {
         assert_eq!(self.0.len(), other.0.len(), "vector timestamps must have the same width");
@@ -79,6 +92,18 @@ impl Vt {
     /// Approximate wire size in bytes (4 bytes per component).
     pub fn wire_bytes(&self) -> usize {
         self.0.len() * 4
+    }
+
+    /// Sum of all components.
+    ///
+    /// Used as a happens-before-compatible rank: if `a` dominates `b`
+    /// componentwise (and differs), then `a.sum() > b.sum()`, so sorting
+    /// diffs by the sum of their creating interval's timestamp applies
+    /// causally ordered modifications in order, while concurrent ones (which
+    /// the multiple-writer protocol guarantees touch disjoint words) land in
+    /// an arbitrary, harmless order.
+    pub fn sum(&self) -> u64 {
+        self.0.iter().map(|&v| u64::from(v)).sum()
     }
 }
 

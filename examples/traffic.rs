@@ -1,0 +1,73 @@
+//! Prints the message/byte/fault counts of the same neighbour-exchange
+//! access pattern under the four protocol variants, reproducing the
+//! paper's qualitative result: each step up the interface (`Validate`,
+//! `Validate_w_sync`, `Push`) strictly reduces traffic.
+//!
+//! Run with `cargo run --example traffic`.
+
+use ctrt_dsm::ctrt::{push_phase, validate, validate_w_sync, Access, Push, RegularSection, SyncOp};
+use ctrt_dsm::pagedmem::PAGE_SIZE;
+use ctrt_dsm::sp2model::CostModel;
+use ctrt_dsm::treadmarks::{Dsm, DsmConfig, Process};
+
+const NPROCS: usize = 4;
+const PAGES_PER_PROC: usize = 3;
+const ELEMS_PER_PAGE: usize = PAGE_SIZE / 8;
+
+fn main() {
+    let elems = NPROCS * PAGES_PER_PROC * ELEMS_PER_PAGE;
+    let chunk = elems / NPROCS;
+    let cfg = || DsmConfig::new(NPROCS).with_cost_model(CostModel::sp2());
+    let pattern = |p: &mut Process, mode: u8| {
+        let a = p.alloc_array::<u64>(elems);
+        let me = p.proc_id();
+        for i in 0..chunk {
+            p.set(&a, me * chunk + i, i as u64);
+        }
+        let n = (me + 1) % NPROCS;
+        let wanted = n * chunk..(n + 1) * chunk;
+        let section = RegularSection::array(&a, wanted.clone(), Access::Read);
+        match mode {
+            0 => p.barrier(),
+            1 => {
+                p.barrier();
+                validate(p, &[section]);
+            }
+            _ => validate_w_sync(p, SyncOp::Barrier, &[section]),
+        }
+        wanted.map(|i| p.get(&a, i)).sum::<u64>()
+    };
+    for (name, mode) in [("plain faulting", 0u8), ("Validate", 1), ("Validate_w_sync", 2)] {
+        let run = Dsm::run(cfg(), |p| pattern(p, mode));
+        let t = run.stats.total();
+        println!(
+            "{name:16} msgs={:4} bytes={:7} segv={:3} time={}",
+            t.messages_sent,
+            t.bytes_sent,
+            t.page_faults,
+            run.execution_time()
+        );
+    }
+    let run = Dsm::run(cfg(), |p| {
+        let a = p.alloc_array::<u64>(elems);
+        let me = p.proc_id();
+        let mine = RegularSection::array(&a, me * chunk..(me + 1) * chunk, Access::WriteAll);
+        validate(p, std::slice::from_ref(&mine));
+        for i in 0..chunk {
+            p.set(&a, me * chunk + i, i as u64);
+        }
+        let consumer = (me + NPROCS - 1) % NPROCS;
+        let producer = (me + 1) % NPROCS;
+        push_phase(p, &[Push::new(consumer, std::slice::from_ref(&mine))], &[producer]);
+        (producer * chunk..(producer + 1) * chunk).map(|i| p.get(&a, i)).sum::<u64>()
+    });
+    let t = run.stats.total();
+    println!(
+        "{:16} msgs={:4} bytes={:7} segv={:3} time={}",
+        "Push",
+        t.messages_sent,
+        t.bytes_sent,
+        t.page_faults,
+        run.execution_time()
+    );
+}
