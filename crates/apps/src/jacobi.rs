@@ -1,0 +1,159 @@
+//! Jacobi iterative smoother (the paper's first application).
+//!
+//! Two `rows x cols` grids; every sweep computes each interior cell of the
+//! destination grid as the four-point average of the source grid and then
+//! the roles swap. Columns are distributed over processors in contiguous
+//! blocks (column-major layout makes a block one contiguous address range);
+//! each sweep a processor reads its own block plus one boundary column from
+//! each neighbour.
+
+use ctrt::{validate, validate_w_sync, warm_sections, Access, RegularSection, SyncOp};
+use treadmarks::Process;
+
+use crate::sor::exchange_boundaries;
+use crate::{col_block, col_elems, seed, GridConfig, Variant};
+
+/// Runs the Jacobi kernel in the given variant and returns this
+/// processor's checksum (the sum over its own column block of the final
+/// grid). All variants perform identical floating-point operations, so
+/// checksums are bit-for-bit equal across variants.
+///
+/// # Panics
+///
+/// Panics if the grid is too small for the decomposition (each processor
+/// needs at least two columns and the grid at least two rows).
+pub fn jacobi(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
+    let GridConfig { rows, cols, iters } = *cfg;
+    let nprocs = p.nprocs();
+    assert!(rows >= 2 && cols >= 2 * nprocs, "each processor needs at least two columns");
+    let a = p.alloc_matrix::<f64>(rows, cols);
+    let b = p.alloc_matrix::<f64>(rows, cols);
+    let me = p.proc_id();
+    let mine = col_block(cols, nprocs, me);
+    let (lo, hi) = (mine.start, mine.end);
+    // The columns this processor updates; global boundary columns are fixed.
+    let update = lo.max(1)..hi.min(cols - 1);
+
+    // Identical deterministic initial condition in both grids. The
+    // baseline writes it per element through the checked path; the
+    // optimized forms treat initialisation as what it is — a fully
+    // analyzable WRITE_ALL phase — and run it on batch-enabled, warmed
+    // mappings (for Push, the WRITE_ALL assertion also covers the sweeps:
+    // the updated columns are fully overwritten every iteration and the
+    // push form never releases, so no twin is ever kept).
+    let mut colbuf = vec![0.0f64; rows];
+    match variant {
+        Variant::TreadMarks => {
+            for j in mine.clone() {
+                for i in 0..rows {
+                    p.set(a.array(), a.index(i, j), seed(i, j));
+                    p.set(b.array(), b.index(i, j), seed(i, j));
+                }
+            }
+        }
+        Variant::Validate | Variant::Push => {
+            validate(
+                p,
+                &[
+                    RegularSection::matrix_cols(&a, mine.clone(), Access::WriteAll),
+                    RegularSection::matrix_cols(&b, mine.clone(), Access::WriteAll),
+                ],
+            );
+            for j in mine.clone() {
+                for (i, slot) in colbuf.iter_mut().enumerate() {
+                    *slot = seed(i, j);
+                }
+                p.set_slice(a.array(), col_elems(&a, j), &colbuf);
+                p.set_slice(b.array(), col_elems(&b, j), &colbuf);
+            }
+        }
+    }
+    match variant {
+        Variant::TreadMarks | Variant::Validate => p.barrier(),
+        // The first sweep reads grid `a`: seed the neighbours' boundary
+        // columns point-to-point.
+        Variant::Push => exchange_boundaries(p, &a, lo, hi),
+    }
+
+    let mut prev = vec![0.0f64; rows];
+    let mut cur = vec![0.0f64; rows];
+    let mut next = vec![0.0f64; rows];
+    let mut out = vec![0.0f64; rows];
+    for t in 0..iters {
+        let (src, dst) = if t % 2 == 0 { (&a, &b) } else { (&b, &a) };
+        let read = lo.saturating_sub(1)..(hi + 1).min(cols);
+        match variant {
+            Variant::TreadMarks => p.barrier(),
+            Variant::Validate => {
+                let mut sections =
+                    vec![RegularSection::matrix_cols(src, read.clone(), Access::Read)];
+                if !update.is_empty() {
+                    sections.push(RegularSection::matrix_cols(
+                        dst,
+                        update.clone(),
+                        Access::WriteAll,
+                    ));
+                }
+                validate_w_sync(p, SyncOp::Barrier, &sections);
+            }
+            Variant::Push => {
+                // Data already moved point-to-point; just re-warm the
+                // fast-path mappings the pushes staled out.
+                let mut sections =
+                    vec![RegularSection::matrix_cols(src, read.clone(), Access::Read)];
+                if !update.is_empty() {
+                    sections.push(RegularSection::matrix_cols(dst, update.clone(), Access::Write));
+                }
+                warm_sections(p, &sections);
+            }
+        }
+        match variant {
+            // The baseline: every element access is a checked access.
+            Variant::TreadMarks => {
+                for j in update.clone() {
+                    for i in 1..rows - 1 {
+                        let v = 0.25
+                            * (p.get(src.array(), src.index(i - 1, j))
+                                + p.get(src.array(), src.index(i + 1, j))
+                                + p.get(src.array(), src.index(i, j - 1))
+                                + p.get(src.array(), src.index(i, j + 1)));
+                        p.set(dst.array(), dst.index(i, j), v);
+                    }
+                    let top = p.get(src.array(), src.index(0, j));
+                    p.set(dst.array(), dst.index(0, j), top);
+                    let bottom = p.get(src.array(), src.index(rows - 1, j));
+                    p.set(dst.array(), dst.index(rows - 1, j), bottom);
+                }
+            }
+            // The optimized forms: bulk accessors over warmed mappings.
+            Variant::Validate | Variant::Push => {
+                if !update.is_empty() {
+                    p.get_slice(src.array(), col_elems(src, update.start - 1), &mut prev);
+                    p.get_slice(src.array(), col_elems(src, update.start), &mut cur);
+                    for j in update.clone() {
+                        p.get_slice(src.array(), col_elems(src, j + 1), &mut next);
+                        out[0] = cur[0];
+                        for i in 1..rows - 1 {
+                            out[i] = 0.25 * (cur[i - 1] + cur[i + 1] + prev[i] + next[i]);
+                        }
+                        out[rows - 1] = cur[rows - 1];
+                        p.set_slice(dst.array(), col_elems(dst, j), &out);
+                        std::mem::swap(&mut prev, &mut cur);
+                        std::mem::swap(&mut cur, &mut next);
+                    }
+                }
+            }
+        }
+        if variant == Variant::Push {
+            exchange_boundaries(p, dst, lo, hi);
+        }
+    }
+
+    let final_grid = if iters % 2 == 0 { &a } else { &b };
+    let mut sum = 0.0;
+    for j in mine {
+        p.get_slice(final_grid.array(), col_elems(final_grid, j), &mut colbuf);
+        sum += colbuf.iter().sum::<f64>();
+    }
+    sum
+}

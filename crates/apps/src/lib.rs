@@ -1,10 +1,105 @@
 //! # dsm-apps — the paper's application suite
 //!
-//! Placeholder for the six applications of the ASPLOS '96 evaluation
-//! (Jacobi, 3-D FFT, IS, Gauss, Shallow and MGS), each in TreadMarks,
-//! compiler-optimized (`ctrt`) and explicit message-passing form. A later
-//! PR populates this crate on top of the [`ctrt`] interface and the
-//! [`treadmarks`] runtime shipped by the current one.
+//! Kernels from the ASPLOS '96 evaluation, each written three times over
+//! the same numerical loop:
+//!
+//! * **TreadMarks** — plain barriers and per-element checked accesses; every
+//!   miss is a page fault and a request/response pair, every element access
+//!   is a software access check;
+//! * **Validate** — the phase's sections are declared up front and
+//!   `validate_w_sync` merges the aggregated fetch with the barrier; the
+//!   phase body runs on the bulk accessors over pre-warmed (section-grant)
+//!   fast-path mappings;
+//! * **Push** — the fully analyzable form: producers push boundary data
+//!   point-to-point, there are no barriers, no invalidations, no twins.
+//!
+//! All variants execute the identical floating-point operations in the
+//! identical order, so their per-processor checksums are bit-for-bit equal
+//! — which is how the tests pin the optimized variants to the baseline.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+mod jacobi;
+mod sor;
+
+pub use jacobi::jacobi;
+pub use sor::sor;
+
+/// Which form of a kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Plain TreadMarks: barriers + per-element checked accesses.
+    TreadMarks,
+    /// `Validate_w_sync` at phase boundaries + bulk accessors.
+    Validate,
+    /// `push_phase` data movement, no barriers.
+    Push,
+}
+
+impl Variant {
+    /// All variants, in baseline-to-optimized order.
+    pub const ALL: [Variant; 3] = [Variant::TreadMarks, Variant::Validate, Variant::Push];
+
+    /// Stable lowercase name, used by the benchmark records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::TreadMarks => "treadmarks",
+            Variant::Validate => "validate",
+            Variant::Push => "push",
+        }
+    }
+}
+
+/// Problem size of a grid kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Grid rows (one column of `rows` f64 elements is the unit of
+    /// contiguity; `rows == PAGE_SIZE / 8` makes a column exactly one page).
+    pub rows: usize,
+    /// Grid columns; distributed over processors in contiguous blocks.
+    pub cols: usize,
+    /// Number of iterations (full sweeps).
+    pub iters: usize,
+}
+
+/// The contiguous block of columns owned by processor `me` of `nprocs`.
+///
+/// Remainder columns go to the lowest-numbered processors, so blocks differ
+/// in size by at most one.
+pub fn col_block(cols: usize, nprocs: usize, me: usize) -> std::ops::Range<usize> {
+    let base = cols / nprocs;
+    let extra = cols % nprocs;
+    let lo = me * base + me.min(extra);
+    let hi = lo + base + usize::from(me < extra);
+    lo..hi
+}
+
+/// The deterministic initial condition shared by every kernel and variant.
+pub(crate) fn seed(i: usize, j: usize) -> f64 {
+    ((i * 31 + j * 17) % 97) as f64 / 7.0
+}
+
+/// The element range of column `j` of a column-major matrix.
+pub(crate) fn col_elems(m: &treadmarks::SharedMatrix<f64>, j: usize) -> std::ops::Range<usize> {
+    let start = m.index(0, j);
+    start..start + m.rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_blocks_partition_the_columns() {
+        for (cols, nprocs) in [(8, 4), (10, 4), (7, 3), (4, 4)] {
+            let mut covered = 0;
+            for me in 0..nprocs {
+                let b = col_block(cols, nprocs, me);
+                assert_eq!(b.start, covered, "blocks must be contiguous");
+                covered = b.end;
+            }
+            assert_eq!(covered, cols, "blocks must cover all columns");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Red-black successive over-relaxation (SOR) on a single grid.
+//!
+//! Each full iteration is two half-sweeps: first every *red* cell
+//! (`(i + j)` even) is relaxed against its four (black) neighbours, then
+//! every *black* cell against its (red) neighbours, with a phase boundary
+//! between the half-sweeps. Because a cell's neighbours always have the
+//! opposite colour, in-place update and buffered update compute identical
+//! values — which keeps the three variants bit-for-bit comparable.
+
+use ctrt::{validate, validate_w_sync, warm_sections, Access, Push, RegularSection, SyncOp};
+use treadmarks::{Process, SharedMatrix};
+
+use crate::{col_block, col_elems, seed, GridConfig, Variant};
+
+/// Over-relaxation factor.
+const OMEGA: f64 = 1.25;
+
+/// Point-to-point exchange of block-boundary columns of `m`: column `lo`
+/// travels to the left neighbour, column `hi - 1` to the right, and the
+/// mirror-image columns are received. The collective is globally matched by
+/// construction (every processor runs the same rule).
+pub(crate) fn exchange_boundaries(p: &mut Process, m: &SharedMatrix<f64>, lo: usize, hi: usize) {
+    let me = p.proc_id();
+    let nprocs = p.nprocs();
+    let mut sends = Vec::new();
+    let mut recv = Vec::new();
+    if me > 0 {
+        sends.push(Push::new(me - 1, &[RegularSection::matrix_cols(m, lo..lo + 1, Access::Read)]));
+        recv.push(me - 1);
+    }
+    if me + 1 < nprocs {
+        sends.push(Push::new(me + 1, &[RegularSection::matrix_cols(m, hi - 1..hi, Access::Read)]));
+        recv.push(me + 1);
+    }
+    ctrt::push_phase(p, &sends, &recv);
+}
+
+/// Runs red-black SOR in the given variant and returns this processor's
+/// checksum (the sum over its own column block of the final grid).
+///
+/// # Panics
+///
+/// Panics if the grid is too small for the decomposition (each processor
+/// needs at least two columns and the grid at least two rows).
+pub fn sor(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
+    let GridConfig { rows, cols, iters } = *cfg;
+    let nprocs = p.nprocs();
+    assert!(rows >= 2 && cols >= 2 * nprocs, "each processor needs at least two columns");
+    let m = p.alloc_matrix::<f64>(rows, cols);
+    let me = p.proc_id();
+    let mine = col_block(cols, nprocs, me);
+    let (lo, hi) = (mine.start, mine.end);
+    let update = lo.max(1)..hi.min(cols - 1);
+
+    // Deterministic initial condition: per element for the baseline, a
+    // WRITE_ALL-validated bulk phase for the optimized forms. For Push the
+    // WRITE_ALL assertion is permanent — the push form performs no release,
+    // so the block stays write-enabled and twin-free for the whole run.
+    let mut colbuf = vec![0.0f64; rows];
+    match variant {
+        Variant::TreadMarks => {
+            for j in mine.clone() {
+                for i in 0..rows {
+                    p.set(m.array(), m.index(i, j), seed(i, j));
+                }
+            }
+        }
+        Variant::Validate | Variant::Push => {
+            validate(p, &[RegularSection::matrix_cols(&m, mine.clone(), Access::WriteAll)]);
+            for j in mine.clone() {
+                for (i, slot) in colbuf.iter_mut().enumerate() {
+                    *slot = seed(i, j);
+                }
+                p.set_slice(m.array(), col_elems(&m, j), &colbuf);
+            }
+        }
+    }
+    match variant {
+        Variant::TreadMarks | Variant::Validate => p.barrier(),
+        Variant::Push => exchange_boundaries(p, &m, lo, hi),
+    }
+
+    let mut prev = vec![0.0f64; rows];
+    let mut cur = vec![0.0f64; rows];
+    let mut next = vec![0.0f64; rows];
+    let mut out = vec![0.0f64; rows];
+    for _ in 0..iters {
+        for colour in 0..2usize {
+            match variant {
+                Variant::TreadMarks => p.barrier(),
+                Variant::Validate => {
+                    let mut sections = Vec::new();
+                    if lo > 0 {
+                        sections.push(RegularSection::matrix_cols(&m, lo - 1..lo, Access::Read));
+                    }
+                    if hi < cols {
+                        sections.push(RegularSection::matrix_cols(&m, hi..hi + 1, Access::Read));
+                    }
+                    if !update.is_empty() {
+                        sections.push(RegularSection::matrix_cols(
+                            &m,
+                            update.clone(),
+                            Access::ReadWrite,
+                        ));
+                    }
+                    validate_w_sync(p, SyncOp::Barrier, &sections);
+                }
+                Variant::Push => {
+                    let read = lo.saturating_sub(1)..(hi + 1).min(cols);
+                    let mut sections = vec![RegularSection::matrix_cols(&m, read, Access::Read)];
+                    if !update.is_empty() {
+                        sections.push(RegularSection::matrix_cols(
+                            &m,
+                            update.clone(),
+                            Access::Write,
+                        ));
+                    }
+                    warm_sections(p, &sections);
+                }
+            }
+            match variant {
+                Variant::TreadMarks => {
+                    for j in update.clone() {
+                        for i in 1..rows - 1 {
+                            if (i + j) % 2 != colour {
+                                continue;
+                            }
+                            let old = p.get(m.array(), m.index(i, j));
+                            let avg = 0.25
+                                * (p.get(m.array(), m.index(i - 1, j))
+                                    + p.get(m.array(), m.index(i + 1, j))
+                                    + p.get(m.array(), m.index(i, j - 1))
+                                    + p.get(m.array(), m.index(i, j + 1)));
+                            p.set(m.array(), m.index(i, j), old + OMEGA * (avg - old));
+                        }
+                    }
+                }
+                Variant::Validate | Variant::Push => {
+                    if !update.is_empty() {
+                        p.get_slice(m.array(), col_elems(&m, update.start - 1), &mut prev);
+                        p.get_slice(m.array(), col_elems(&m, update.start), &mut cur);
+                        for j in update.clone() {
+                            p.get_slice(m.array(), col_elems(&m, j + 1), &mut next);
+                            out.copy_from_slice(&cur);
+                            for i in 1..rows - 1 {
+                                if (i + j) % 2 != colour {
+                                    continue;
+                                }
+                                let old = cur[i];
+                                let avg = 0.25 * (cur[i - 1] + cur[i + 1] + prev[i] + next[i]);
+                                out[i] = old + OMEGA * (avg - old);
+                            }
+                            p.set_slice(m.array(), col_elems(&m, j), &out);
+                            std::mem::swap(&mut prev, &mut cur);
+                            std::mem::swap(&mut cur, &mut next);
+                        }
+                    }
+                }
+            }
+            if variant == Variant::Push {
+                exchange_boundaries(p, &m, lo, hi);
+            }
+        }
+    }
+
+    let mut sum = 0.0;
+    for j in mine {
+        p.get_slice(m.array(), col_elems(&m, j), &mut colbuf);
+        sum += colbuf.iter().sum::<f64>();
+    }
+    sum
+}

@@ -1,0 +1,101 @@
+//! Cross-variant acceptance: the optimized forms must compute bit-for-bit
+//! the same checksums as the plain TreadMarks form, with strictly less
+//! protocol traffic at each step up the interface.
+
+use dsm_apps::{jacobi, sor, GridConfig, Variant};
+use sp2model::{CostModel, StatsSnapshot};
+use treadmarks::{Dsm, DsmConfig, DsmRun};
+
+fn run_app(
+    app: fn(&mut treadmarks::Process, &GridConfig, Variant) -> f64,
+    cfg: GridConfig,
+    nprocs: usize,
+    variant: Variant,
+) -> DsmRun<f64> {
+    let config = DsmConfig::new(nprocs).with_cost_model(CostModel::free());
+    Dsm::run(config, move |p| app(p, &cfg, variant))
+}
+
+fn totals(run: &DsmRun<f64>) -> StatsSnapshot {
+    run.stats.total()
+}
+
+fn assert_variants_agree(
+    app: fn(&mut treadmarks::Process, &GridConfig, Variant) -> f64,
+    cfg: GridConfig,
+    nprocs: usize,
+) -> [DsmRun<f64>; 3] {
+    let tmk = run_app(app, cfg, nprocs, Variant::TreadMarks);
+    let val = run_app(app, cfg, nprocs, Variant::Validate);
+    let push = run_app(app, cfg, nprocs, Variant::Push);
+    assert_eq!(tmk.results, val.results, "Validate must reproduce the baseline bit-for-bit");
+    assert_eq!(tmk.results, push.results, "Push must reproduce the baseline bit-for-bit");
+    assert!(
+        tmk.results.iter().any(|&s| s != 0.0),
+        "checksums must be non-trivial for the comparison to mean anything"
+    );
+    [tmk, val, push]
+}
+
+#[test]
+fn jacobi_variants_agree_and_reduce_traffic() {
+    let cfg = GridConfig { rows: 64, cols: 8, iters: 3 };
+    let [tmk, val, push] = assert_variants_agree(jacobi, cfg, 4);
+    let (t, v, u) = (totals(&tmk), totals(&val), totals(&push));
+    assert!(
+        v.messages_sent < t.messages_sent,
+        "Validate: {} -> {}",
+        t.messages_sent,
+        v.messages_sent
+    );
+    assert!(u.messages_sent < v.messages_sent, "Push: {} -> {}", v.messages_sent, u.messages_sent);
+    assert!(v.page_faults < t.page_faults);
+    assert!(u.page_faults < v.page_faults);
+}
+
+#[test]
+fn sor_variants_agree_and_reduce_traffic() {
+    let cfg = GridConfig { rows: 64, cols: 8, iters: 3 };
+    let [tmk, val, push] = assert_variants_agree(sor, cfg, 4);
+    let (t, v, u) = (totals(&tmk), totals(&val), totals(&push));
+    assert!(v.messages_sent < t.messages_sent);
+    assert!(u.messages_sent < v.messages_sent);
+}
+
+#[test]
+fn jacobi_page_aligned_columns_take_the_write_all_fast_path() {
+    // rows == PAGE_SIZE / 8: one column is exactly one page, so the
+    // Validate variant's WRITE_ALL sections fully cover their pages and the
+    // Push variant runs twin-free after initialisation.
+    let cfg = GridConfig { rows: 512, cols: 8, iters: 2 };
+    let [_, _, push] = assert_variants_agree(jacobi, cfg, 4);
+    // Only the fixed global-boundary columns (outside the WRITE_ALL
+    // sections) twin, once each at initialisation: two edge processors x
+    // two grids. The sweeps themselves never twin.
+    assert!(
+        totals(&push).twins_created <= 4,
+        "page-aligned WRITE_ALL push sweeps must not twin: {} twins",
+        totals(&push).twins_created
+    );
+}
+
+#[test]
+fn kernels_run_on_a_single_processor() {
+    let cfg = GridConfig { rows: 16, cols: 4, iters: 2 };
+    for variant in Variant::ALL {
+        let j = run_app(jacobi, cfg, 1, variant);
+        let s = run_app(sor, cfg, 1, variant);
+        assert_eq!(totals(&j).messages_sent, 0);
+        assert_eq!(totals(&s).messages_sent, 0);
+    }
+}
+
+#[test]
+fn uneven_column_blocks_still_agree() {
+    // 10 columns over 3 processors: blocks of 4/3/3 exercise the remainder
+    // handling and unaligned block boundaries (false sharing on the shared
+    // boundary pages).
+    let cfg = GridConfig { rows: 32, cols: 10, iters: 2 };
+    assert_variants_agree(jacobi, cfg, 3);
+    assert_variants_agree(sor, cfg, 3);
+}

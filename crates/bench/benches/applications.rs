@@ -1,1 +1,18 @@
-fn main() {}
+//! `cargo bench -p dsm-bench --bench applications` — runs the full suite
+//! and prints the comparison table (the same records the `dsm-bench`
+//! binary writes to `BENCH_PR2.json`).
+
+fn main() {
+    for r in dsm_bench::suite() {
+        println!(
+            "{:8} {:12} time={:>12}us table_locks={:>10} tlb_hits={:>10} segv={:>7} msgs={:>8}",
+            r.app,
+            r.variant,
+            r.time_ns / 1_000,
+            r.table_lock_acquires,
+            r.tlb_hits,
+            r.page_faults,
+            r.messages
+        );
+    }
+}

@@ -1,10 +1,313 @@
 //! # dsm-bench — the benchmark harness
 //!
-//! Placeholder for the harness that regenerates the paper's tables and
-//! figures (Table 2's fault/message/data reductions, the speedup figures)
-//! from [`sp2model`] statistics and virtual clocks. A later PR populates
-//! this crate; the `benches/` entry points exist so the workspace's bench
-//! wiring is exercised by CI from the start.
+//! Runs the application kernels of [`dsm_apps`] under the SP/2 cost model
+//! in every protocol variant, collects the `sp2model` statistics that the
+//! paper's tables are built from (page faults, messages, bytes, lock
+//! acquisitions, virtual time) plus the fast-path counters introduced with
+//! the software TLB (page-table-lock acquisitions, TLB hits/misses), and
+//! renders them as deterministic JSON.
+//!
+//! The checked-in `BENCH_PR2.json` at the repository root is produced by
+//! `cargo run -p dsm-bench` and consumed by `cargo run -p dsm-bench --
+//! --check`, which re-runs the suite and fails if the Jacobi `Push`
+//! variant's model time regresses by more than 10% — the CI smoke gate.
+//!
+//! Everything here is deterministic: the clocks are *virtual* (message
+//! costs come from the cost model, not the host), the kernels are lock-free
+//! SPMD programs, and the JSON renders records in a fixed order with fixed
+//! field order — two runs of the suite produce byte-identical output.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+use dsm_apps::{jacobi, sor, GridConfig, Variant};
+use sp2model::CostModel;
+use treadmarks::{Dsm, DsmConfig};
+
+/// The schema tag embedded in the JSON output.
+pub const SCHEMA: &str = "dsm-bench/pr2";
+
+/// Allowed model-time regression before the check mode fails, in percent.
+pub const REGRESSION_LIMIT_PCT: f64 = 10.0;
+
+/// One benchmark run: a kernel, a variant, its size, and what it measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Kernel name (`"jacobi"`, `"sor"`).
+    pub app: &'static str,
+    /// Variant name (`"treadmarks"`, `"validate"`, `"push"`).
+    pub variant: &'static str,
+    /// Number of simulated processors.
+    pub nprocs: usize,
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Iterations.
+    pub iters: usize,
+    /// Model execution time (maximum final virtual clock), in nanoseconds.
+    pub time_ns: u64,
+    /// Global page-table-lock acquisitions across all nodes.
+    pub table_lock_acquires: u64,
+    /// Accesses served by the software TLB without the table lock.
+    pub tlb_hits: u64,
+    /// Accesses that took the table-locked slow path.
+    pub tlb_misses: u64,
+    /// Page faults ("segv") taken by the checked access path.
+    pub page_faults: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Application lock acquisitions.
+    pub lock_acquires: u64,
+}
+
+/// Runs one kernel/variant combination and collects its record.
+pub fn run_case(
+    app: &'static str,
+    cfg: GridConfig,
+    nprocs: usize,
+    variant: Variant,
+) -> BenchRecord {
+    let kernel = match app {
+        "jacobi" => jacobi,
+        "sor" => sor,
+        other => panic!("unknown kernel {other:?}"),
+    };
+    let config = DsmConfig::new(nprocs).with_cost_model(CostModel::sp2());
+    let run = Dsm::run(config, move |p| kernel(p, &cfg, variant));
+    let t = run.stats.total();
+    BenchRecord {
+        app,
+        variant: variant.name(),
+        nprocs,
+        rows: cfg.rows,
+        cols: cfg.cols,
+        iters: cfg.iters,
+        time_ns: run.execution_time().as_nanos(),
+        table_lock_acquires: t.table_lock_acquires,
+        tlb_hits: t.tlb_hits,
+        tlb_misses: t.tlb_misses,
+        page_faults: t.page_faults,
+        messages: t.messages_sent,
+        bytes: t.bytes_sent,
+        lock_acquires: t.lock_acquires,
+    }
+}
+
+/// The standard suite: both kernels, all three variants, at the smoke size
+/// used by CI (page-aligned columns, four processors).
+pub fn suite() -> Vec<BenchRecord> {
+    let jacobi_cfg = GridConfig { rows: 512, cols: 32, iters: 4 };
+    let sor_cfg = GridConfig { rows: 512, cols: 32, iters: 3 };
+    let mut records = Vec::new();
+    for variant in Variant::ALL {
+        records.push(run_case("jacobi", jacobi_cfg, 4, variant));
+    }
+    for variant in Variant::ALL {
+        records.push(run_case("sor", sor_cfg, 4, variant));
+    }
+    records
+}
+
+/// Renders records as deterministic JSON: fixed field order, one record per
+/// line, no floats.
+pub fn render_json(records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"app\":\"{}\",\"variant\":\"{}\",\"nprocs\":{},\"rows\":{},\"cols\":{},\
+             \"iters\":{},\"time_ns\":{},\"table_lock_acquires\":{},\"tlb_hits\":{},\
+             \"tlb_misses\":{},\"page_faults\":{},\"messages\":{},\"bytes\":{},\
+             \"lock_acquires\":{}}}{comma}\n",
+            r.app,
+            r.variant,
+            r.nprocs,
+            r.rows,
+            r.cols,
+            r.iters,
+            r.time_ns,
+            r.table_lock_acquires,
+            r.tlb_hits,
+            r.tlb_misses,
+            r.page_faults,
+            r.messages,
+            r.bytes,
+            r.lock_acquires,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A record as recovered from a baseline JSON file (only the fields the
+/// regression gate needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineRecord {
+    /// Kernel name.
+    pub app: String,
+    /// Variant name.
+    pub variant: String,
+    /// Model execution time in nanoseconds.
+    pub time_ns: u64,
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Recovers the baseline records from a JSON file written by
+/// [`render_json`] (one record per line; no external JSON parser exists in
+/// this offline workspace).
+pub fn parse_baseline(json: &str) -> Vec<BaselineRecord> {
+    json.lines()
+        .filter_map(|line| {
+            Some(BaselineRecord {
+                app: str_field(line, "app")?,
+                variant: str_field(line, "variant")?,
+                time_ns: u64_field(line, "time_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// The CI regression gate: compares the current suite against a baseline
+/// file and reports per-record deltas.
+///
+/// # Errors
+///
+/// Returns `Err` when the Jacobi `Push` record's model time exceeds the
+/// baseline by more than [`REGRESSION_LIMIT_PCT`], or when the baseline is
+/// missing that record.
+pub fn check_regression(
+    current: &[BenchRecord],
+    baseline_json: &str,
+) -> Result<Vec<String>, String> {
+    let baseline = parse_baseline(baseline_json);
+    let mut report = Vec::new();
+    let mut gated = false;
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.app == cur.app && b.variant == cur.variant)
+        else {
+            report.push(format!("{}/{}: no baseline (new record)", cur.app, cur.variant));
+            continue;
+        };
+        let delta_pct = if base.time_ns == 0 {
+            0.0
+        } else {
+            (cur.time_ns as f64 - base.time_ns as f64) / base.time_ns as f64 * 100.0
+        };
+        report.push(format!(
+            "{}/{}: {} -> {} ns ({:+.2}%)",
+            cur.app, cur.variant, base.time_ns, cur.time_ns, delta_pct
+        ));
+        if cur.app == "jacobi" && cur.variant == "push" {
+            gated = true;
+            if delta_pct > REGRESSION_LIMIT_PCT {
+                return Err(format!(
+                    "jacobi/push model time regressed {delta_pct:+.2}% \
+                     ({} -> {} ns), over the {REGRESSION_LIMIT_PCT}% limit",
+                    base.time_ns, cur.time_ns
+                ));
+            }
+        }
+    }
+    if !gated {
+        return Err("baseline comparison never saw the gated jacobi/push record".to_string());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(app: &'static str, variant: Variant) -> BenchRecord {
+        run_case(app, GridConfig { rows: 64, cols: 8, iters: 2 }, 4, variant)
+    }
+
+    #[test]
+    fn warm_path_takes_at_least_five_times_fewer_table_locks() {
+        // The ISSUE acceptance criterion, self-enforced: the Validate and
+        // Push forms of Jacobi must acquire the page-table lock at least 5x
+        // less often than the per-element checked baseline, and finish in
+        // less model time. Page-sized columns so the working set is a real
+        // multi-page one (a one-page grid fits any cache and shows nothing).
+        let cfg = GridConfig { rows: 512, cols: 16, iters: 2 };
+        let tmk = run_case("jacobi", cfg, 4, Variant::TreadMarks);
+        let val = run_case("jacobi", cfg, 4, Variant::Validate);
+        let push = run_case("jacobi", cfg, 4, Variant::Push);
+        assert!(
+            tmk.table_lock_acquires >= 5 * val.table_lock_acquires,
+            "Validate must cut table locks >=5x: {} vs {}",
+            tmk.table_lock_acquires,
+            val.table_lock_acquires
+        );
+        assert!(
+            tmk.table_lock_acquires >= 5 * push.table_lock_acquires,
+            "Push must cut table locks >=5x: {} vs {}",
+            tmk.table_lock_acquires,
+            push.table_lock_acquires
+        );
+        assert!(
+            val.time_ns < tmk.time_ns,
+            "Validate model time: {} vs {}",
+            val.time_ns,
+            tmk.time_ns
+        );
+        assert!(push.time_ns < val.time_ns, "Push model time: {} vs {}", push.time_ns, val.time_ns);
+        assert!(val.tlb_hits > 0, "the optimized form must run on the TLB fast path");
+    }
+
+    #[test]
+    fn records_render_deterministically() {
+        let a = vec![tiny("jacobi", Variant::Push), tiny("sor", Variant::Validate)];
+        let b = vec![tiny("jacobi", Variant::Push), tiny("sor", Variant::Validate)];
+        assert_eq!(render_json(&a), render_json(&b), "two identical runs must render identically");
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_renderer() {
+        let records = vec![tiny("jacobi", Variant::TreadMarks), tiny("jacobi", Variant::Push)];
+        let parsed = parse_baseline(&render_json(&records));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].app, "jacobi");
+        assert_eq!(parsed[0].variant, "treadmarks");
+        assert_eq!(parsed[0].time_ns, records[0].time_ns);
+        assert_eq!(parsed[1].time_ns, records[1].time_ns);
+    }
+
+    #[test]
+    fn regression_gate_fails_on_slowdowns_and_passes_in_budget() {
+        let current = vec![tiny("jacobi", Variant::Push)];
+        // Baseline much faster than current: gate trips.
+        let fast = format!(
+            "{{\"app\":\"jacobi\",\"variant\":\"push\",\"time_ns\":{}}}",
+            current[0].time_ns / 2
+        );
+        assert!(check_regression(&current, &fast).is_err());
+        // Baseline equal to current: within budget.
+        let same = format!(
+            "{{\"app\":\"jacobi\",\"variant\":\"push\",\"time_ns\":{}}}",
+            current[0].time_ns
+        );
+        assert!(check_regression(&current, &same).is_ok());
+        // Baseline missing the gated record: refuse to pass silently.
+        assert!(check_regression(&current, "{}").is_err());
+    }
+}

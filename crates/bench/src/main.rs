@@ -1,0 +1,73 @@
+//! Command-line entry point of the benchmark harness.
+//!
+//! * `cargo run -p dsm-bench` — run the suite and write `BENCH_PR2.json`
+//!   (path configurable with `--out`), printing a summary table.
+//! * `cargo run -p dsm-bench -- --check` — run the suite and compare it
+//!   against the checked-in baseline (path configurable with
+//!   `--baseline`), exiting non-zero if the gated record regresses.
+
+use dsm_bench::{check_regression, render_json, suite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut out = String::from("BENCH_PR2.json");
+    let mut baseline = String::from("BENCH_PR2.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--baseline" => baseline = it.next().expect("--baseline needs a path").clone(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("running the dsm-bench suite (SP/2 cost model)...");
+    let records = suite();
+    println!(
+        "{:8} {:12} {:>14} {:>12} {:>10} {:>10} {:>8} {:>10}",
+        "app", "variant", "time_us", "table_locks", "tlb_hits", "misses", "segv", "msgs"
+    );
+    for r in &records {
+        println!(
+            "{:8} {:12} {:>14} {:>12} {:>10} {:>10} {:>8} {:>10}",
+            r.app,
+            r.variant,
+            r.time_ns / 1_000,
+            r.table_lock_acquires,
+            r.tlb_hits,
+            r.tlb_misses,
+            r.page_faults,
+            r.messages
+        );
+    }
+
+    if check {
+        let baseline_json = match std::fs::read_to_string(&baseline) {
+            Ok(json) => json,
+            Err(err) => {
+                eprintln!("cannot read baseline {baseline}: {err}");
+                std::process::exit(1);
+            }
+        };
+        match check_regression(&records, &baseline_json) {
+            Ok(report) => {
+                for line in report {
+                    eprintln!("  {line}");
+                }
+                eprintln!("regression gate passed");
+            }
+            Err(err) => {
+                eprintln!("regression gate FAILED: {err}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        std::fs::write(&out, render_json(&records)).expect("write benchmark output");
+        eprintln!("wrote {out}");
+    }
+}

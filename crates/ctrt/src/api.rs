@@ -18,6 +18,39 @@ use treadmarks::{ProcId, Process, SyncOp};
 
 use crate::section::RegularSection;
 
+/// A warmed fast-path mapping for a phase's sections.
+///
+/// `validate`, `validate_w_sync` and `push_phase` finish by pre-loading the
+/// processor's software TLB for the sections they just made consistent, so
+/// the phase body takes **zero access checks and zero page-table-lock
+/// acquisitions** after the aggregate call. The grant reports what was
+/// warmed; it requires nothing of the caller (dropping it is free, and a
+/// grant can never make an access unsafe — the runtime revalidates every
+/// cached mapping against the protection epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionGrant {
+    pages_warmed: usize,
+    epoch: u64,
+}
+
+impl SectionGrant {
+    /// Number of pages whose mappings were pre-loaded.
+    pub fn pages_warmed(&self) -> usize {
+        self.pages_warmed
+    }
+
+    /// The protection epoch the mappings were observed at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the warmed mappings are still current (no protection or
+    /// validity change has happened since the grant was issued).
+    pub fn is_current(&self, p: &Process) -> bool {
+        self.epoch == p.protection_epoch()
+    }
+}
+
 /// Splits sections into the ranges whose old contents must be fetched and
 /// the write-preparation work (twinned vs `WRITE_ALL`).
 fn plan(sections: &[RegularSection]) -> (Vec<AddrRange>, Vec<AddrRange>, Vec<AddrRange>) {
@@ -52,15 +85,30 @@ fn prepare_writes(p: &mut Process, write_twinned: &[AddrRange], write_all: &[Add
     }
 }
 
+/// Pre-loads the software TLB for `sections` (read sections as readable,
+/// written sections as writable mappings) and returns the grant. Issued
+/// automatically at the end of every `validate`/`validate_w_sync`/
+/// `push_phase`; also useful standalone for a phase whose data is already
+/// local (e.g. the producer side of a push loop).
+pub fn warm_sections(p: &mut Process, sections: &[RegularSection]) -> SectionGrant {
+    let mut pages_warmed = 0;
+    for section in sections {
+        pages_warmed += p.warm_tlb(section.ranges(), section.access().is_write());
+    }
+    SectionGrant { pages_warmed, epoch: p.protection_epoch() }
+}
+
 /// `Validate(regions)`: makes every section consistent before the phase
 /// runs, replacing the phase's page faults with **one aggregated request
 /// message per producer** and preparing written pages (twins, write
-/// enables) in batch.
+/// enables) in batch. The returned [`SectionGrant`] records that the
+/// sections' fast-path mappings were pre-warmed: the phase body runs with
+/// zero checks.
 ///
 /// Legal anywhere: the call only accelerates what the invalidate-based
 /// protocol would do lazily, so over- or under-approximated sections are
 /// correctness-neutral (missed pages simply fault as usual).
-pub fn validate(p: &mut Process, sections: &[RegularSection]) {
+pub fn validate(p: &mut Process, sections: &[RegularSection]) -> SectionGrant {
     p.stats().validates(1);
     let (fetch, write_twinned, write_all) = plan(sections);
     if !fetch.is_empty() {
@@ -68,6 +116,7 @@ pub fn validate(p: &mut Process, sections: &[RegularSection]) {
         p.apply_fetch(handle);
     }
     prepare_writes(p, &write_twinned, &write_all);
+    warm_sections(p, sections)
 }
 
 /// `Validate_w_sync(sync_op, regions)`: performs the synchronization
@@ -83,11 +132,12 @@ pub fn validate(p: &mut Process, sections: &[RegularSection]) {
 /// piggybacked fetch relies on the write notices that arrive with that
 /// synchronization. Sections may over-approximate; anything not covered
 /// faults lazily as usual.
-pub fn validate_w_sync(p: &mut Process, sync: SyncOp, sections: &[RegularSection]) {
+pub fn validate_w_sync(p: &mut Process, sync: SyncOp, sections: &[RegularSection]) -> SectionGrant {
     p.stats().validate_w_syncs(1);
     let (fetch, write_twinned, write_all) = plan(sections);
     p.fetch_diffs_w_sync(sync, &fetch);
     prepare_writes(p, &write_twinned, &write_all);
+    warm_sections(p, sections)
 }
 
 /// `Push(dest, regions)`: describes one destination of a [`push_phase`] —
@@ -122,9 +172,14 @@ impl Push {
 /// because no write notices are generated for pushed modifications. The
 /// sends and `recv_from` sets of all processors must be globally matched,
 /// like any collective operation.
-pub fn push_phase(p: &mut Process, sends: &[Push], recv_from: &[ProcId]) {
+/// The returned [`SectionGrant`] pre-warms the fast-path mappings of the
+/// ranges this processor just *received*, so the consuming phase reads them
+/// with zero checks.
+pub fn push_phase(p: &mut Process, sends: &[Push], recv_from: &[ProcId]) -> SectionGrant {
     p.stats().pushes(1);
     let plan: Vec<(ProcId, Vec<AddrRange>)> =
         sends.iter().map(|push| (push.dest, push.regions.clone())).collect();
-    p.push_exchange(&plan, recv_from);
+    let received = p.push_exchange(&plan, recv_from);
+    let pages_warmed = p.warm_tlb(&received, false);
+    SectionGrant { pages_warmed, epoch: p.protection_epoch() }
 }

@@ -50,5 +50,5 @@
 mod api;
 mod section;
 
-pub use api::{push_phase, validate, validate_w_sync, Push};
+pub use api::{push_phase, validate, validate_w_sync, warm_sections, Push, SectionGrant};
 pub use section::{Access, RegularSection, SyncOp};

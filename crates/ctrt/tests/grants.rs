@@ -1,0 +1,85 @@
+//! Section grants: the aggregate calls must leave the phase's fast-path
+//! mappings warm, so the phase body runs with zero page-table-lock
+//! acquisitions, and a grant must go stale the moment protection changes.
+
+use ctrt::{push_phase, validate, Access, Push, RegularSection};
+use pagedmem::PAGE_SIZE;
+use sp2model::CostModel;
+use treadmarks::{Dsm, DsmConfig};
+
+const ELEMS_PER_PAGE: usize = PAGE_SIZE / 8;
+const PAGES: usize = 4;
+
+fn config(nprocs: usize) -> DsmConfig {
+    DsmConfig::new(nprocs).with_cost_model(CostModel::free())
+}
+
+#[test]
+fn validate_grant_prewarms_the_phase_to_zero_table_locks() {
+    Dsm::run(config(2), |p| {
+        let a = p.alloc_array::<u64>(PAGES * ELEMS_PER_PAGE);
+        if p.proc_id() == 0 {
+            for page in 0..PAGES {
+                p.set(&a, page * ELEMS_PER_PAGE, 7);
+            }
+        }
+        p.barrier();
+        let grant = validate(p, &[RegularSection::array(&a, 0..a.len(), Access::Read)]);
+        assert!(grant.pages_warmed() >= PAGES, "all fetched pages must be warmed");
+        assert!(grant.is_current(p));
+        // Quiesce: after this barrier no requests are in flight, so the
+        // node's lock counter moves only if *this* phase touches the table.
+        p.barrier();
+        let locks = p.stats().snapshot().table_lock_acquires;
+        let mut buf = vec![0u64; a.len()];
+        p.get_slice(&a, 0..a.len(), &mut buf);
+        let sum: u64 = (0..a.len()).map(|i| p.get(&a, i)).sum();
+        assert_eq!(
+            p.stats().snapshot().table_lock_acquires,
+            locks,
+            "a granted phase must take zero global-lock acquisitions"
+        );
+        assert_eq!(sum, 7 * PAGES as u64);
+        assert_eq!(buf[0], 7);
+        sum
+    });
+}
+
+#[test]
+fn push_grant_covers_the_received_data() {
+    let run = Dsm::run(config(2), |p| {
+        let a = p.alloc_array::<u64>(2 * ELEMS_PER_PAGE);
+        let me = p.proc_id();
+        let other = 1 - me;
+        let half = a.len() / 2;
+        let mine = RegularSection::array(&a, me * half..(me + 1) * half, Access::WriteAll);
+        validate(p, std::slice::from_ref(&mine));
+        for i in 0..half {
+            p.set(&a, me * half + i, (10 + me) as u64);
+        }
+        let grant = push_phase(p, &[Push::new(other, std::slice::from_ref(&mine))], &[other]);
+        assert!(grant.pages_warmed() >= 1, "the received range must be warmed");
+        let locks = p.stats().snapshot().table_lock_acquires;
+        let sum: u64 = (other * half..(other + 1) * half).map(|i| p.get(&a, i)).sum();
+        assert_eq!(
+            p.stats().snapshot().table_lock_acquires,
+            locks,
+            "reading pushed data through the grant must be lock-free"
+        );
+        sum
+    });
+    let half = ELEMS_PER_PAGE as u64;
+    assert_eq!(run.results, vec![11 * half, 10 * half]);
+}
+
+#[test]
+fn grants_go_stale_when_protection_changes() {
+    Dsm::run(config(1), |p| {
+        let a = p.alloc_array::<u64>(ELEMS_PER_PAGE);
+        let grant = validate(p, &[RegularSection::array(&a, 0..a.len(), Access::Write)]);
+        assert!(grant.is_current(p));
+        assert_eq!(grant.epoch(), p.protection_epoch());
+        p.write_protect(&[a.full_range()]);
+        assert!(!grant.is_current(p), "a protection change must retire the grant");
+    });
+}

@@ -43,25 +43,45 @@ pub struct Diff {
 impl Diff {
     /// Compares `current` against `twin` and records the changed words.
     ///
+    /// Runs are still word granular, but the scan compares 8-byte blocks and
+    /// only descends to the two 4-byte words inside a block that differs —
+    /// on the common mostly-clean page this halves the comparisons without
+    /// changing the encoding.
+    ///
     /// # Panics
     ///
     /// Panics if the two buffers are not both exactly [`PAGE_SIZE`] long.
     pub fn create(twin: &[u8], current: &[u8]) -> Diff {
         assert_eq!(twin.len(), PAGE_SIZE, "twin must be a whole page");
         assert_eq!(current.len(), PAGE_SIZE, "page must be a whole page");
+        const BLOCK: usize = 2 * WORD;
         let mut runs = Vec::new();
         let mut run_start: Option<usize> = None;
-        for word in 0..PAGE_SIZE / WORD {
-            let lo = word * WORD;
-            let hi = lo + WORD;
-            let differs = twin[lo..hi] != current[lo..hi];
-            match (differs, run_start) {
-                (true, None) => run_start = Some(lo),
-                (false, Some(start)) => {
+        for block in 0..PAGE_SIZE / BLOCK {
+            let lo = block * BLOCK;
+            let t = u64::from_le_bytes(twin[lo..lo + BLOCK].try_into().expect("8-byte block"));
+            let c = u64::from_le_bytes(current[lo..lo + BLOCK].try_into().expect("8-byte block"));
+            if t == c {
+                // Both words are clean; a run open at this point ends exactly
+                // where the word-by-word scan would have ended it.
+                if let Some(start) = run_start.take() {
                     runs.push(Run { offset: start as u32, data: current[start..lo].to_vec() });
-                    run_start = None;
                 }
-                _ => {}
+                continue;
+            }
+            for word_lo in [lo, lo + WORD] {
+                let differs = twin[word_lo..word_lo + WORD] != current[word_lo..word_lo + WORD];
+                match (differs, run_start) {
+                    (true, None) => run_start = Some(word_lo),
+                    (false, Some(start)) => {
+                        runs.push(Run {
+                            offset: start as u32,
+                            data: current[start..word_lo].to_vec(),
+                        });
+                        run_start = None;
+                    }
+                    _ => {}
+                }
             }
         }
         if let Some(start) = run_start {
@@ -302,6 +322,60 @@ mod tests {
         db.merge(&da).apply(&mut merged_ba).unwrap();
         assert_eq!(merged_ab, ab);
         assert_eq!(merged_ba, ab);
+    }
+
+    #[test]
+    fn block_scan_matches_a_word_by_word_reference() {
+        // The 8-byte-block scan must produce the exact encoding of the plain
+        // word-by-word state machine, including runs that straddle block
+        // boundaries, start mid-block or cover exactly one word of a block.
+        fn reference(twin: &[u8], current: &[u8]) -> Diff {
+            let mut runs = Vec::new();
+            let mut run_start: Option<usize> = None;
+            for word in 0..PAGE_SIZE / WORD {
+                let lo = word * WORD;
+                let differs = twin[lo..lo + WORD] != current[lo..lo + WORD];
+                match (differs, run_start) {
+                    (true, None) => run_start = Some(lo),
+                    (false, Some(start)) => {
+                        runs.push(Run { offset: start as u32, data: current[start..lo].to_vec() });
+                        run_start = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(start) = run_start {
+                runs.push(Run { offset: start as u32, data: current[start..PAGE_SIZE].to_vec() });
+            }
+            Diff { runs }
+        }
+        // A deterministic pseudo-random page pair with edits of many shapes.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..16 {
+            let twin: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+            let mut current = twin.clone();
+            for _ in 0..40 {
+                let at = (next() as usize) % PAGE_SIZE;
+                let len = 1 + (next() as usize) % 24;
+                for b in current[at..(at + len).min(PAGE_SIZE)].iter_mut() {
+                    *b = b.wrapping_add(1 + (next() as u8 % 3));
+                }
+            }
+            assert_eq!(Diff::create(&twin, &current), reference(&twin, &current));
+        }
+        // Edge shapes: first word, last word, a lone second-word-of-block.
+        let twin = vec![0u8; PAGE_SIZE];
+        for edit in [0usize, PAGE_SIZE - 1, 4, PAGE_SIZE - 5] {
+            let mut current = twin.clone();
+            current[edit] = 1;
+            assert_eq!(Diff::create(&twin, &current), reference(&twin, &current));
+        }
     }
 
     #[test]

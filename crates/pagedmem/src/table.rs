@@ -1,12 +1,39 @@
 //! Per-node page tables.
+//!
+//! The table has two levels of locking, mirroring the structure of a real
+//! fine-granularity DSM fast path:
+//!
+//! * the **table lock** (taken by whoever owns the `PageTable`, typically a
+//!   node-level mutex) protects the page-id → frame mapping, and
+//! * a **per-frame lock** protects each frame's contents, protection state,
+//!   twin and dirty flag.
+//!
+//! A [`FrameRef`] is a shared handle onto one frame. Frame handles are
+//!  stable: once a page is mapped, its `Arc` identity never changes (
+//! [`install`](PageTable::install) and [`map_zeroed`](PageTable::map_zeroed)
+//! mutate the existing frame in place), so a cached handle always observes
+//! the frame's *current* protection. That is what makes a software TLB above
+//! this table sound: a cached mapping can be used without the table lock,
+//! because the per-frame protection re-check still sees every downgrade.
+//!
+//! The table additionally maintains a monotone **protection epoch**: a
+//! counter bumped on every protection or validity change (mapping a page,
+//! installing a copy, any `set_protection` that changes the state, or an
+//! explicit [`bump_epoch`](PageTable::bump_epoch)). The epoch is readable
+//! *without* the table lock through an [`EpochProbe`], which is how cached
+//! mappings are cheaply revalidated.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dsm_core::sync::Mutex;
 
 use crate::{Addr, AddrRange, Diff, MemError, Page, PageId, Protection, PAGE_SIZE};
 
 /// One mapped page on a node: its contents, protection state, optional twin
 /// and dirty flag.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PageFrame {
     /// Current contents of the page.
     pub page: Page,
@@ -26,6 +53,13 @@ impl PageFrame {
     }
 }
 
+/// A shared, individually lockable handle onto one page frame.
+///
+/// Obtained from [`PageTable::frame`] / [`PageTable::frame_or_map`]; the
+/// handle stays valid (and observes all later protection changes) for the
+/// lifetime of the table.
+pub type FrameRef = Arc<Mutex<PageFrame>>;
+
 /// The result of checking whether an access may proceed without a fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
@@ -40,9 +74,46 @@ pub enum AccessOutcome {
 }
 
 impl AccessOutcome {
+    /// The outcome of an access against a page in state `protection`.
+    pub fn of(protection: Protection, is_write: bool) -> AccessOutcome {
+        match protection {
+            Protection::Unmapped => AccessOutcome::Unmapped,
+            Protection::Invalid => AccessOutcome::Invalid,
+            Protection::ReadOnly if is_write => AccessOutcome::WriteProtected,
+            Protection::ReadOnly | Protection::ReadWrite => AccessOutcome::Hit,
+        }
+    }
+
     /// Whether the access faults.
     pub fn is_fault(self) -> bool {
         self != AccessOutcome::Hit
+    }
+}
+
+/// A fault found by one of the checked bulk accessors: the first page of the
+/// range that does not allow the access, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessFault {
+    /// The faulting page.
+    pub page: PageId,
+    /// Why the access cannot proceed.
+    pub outcome: AccessOutcome,
+}
+
+/// A lock-free view of a table's protection epoch.
+///
+/// Cloned from [`PageTable::epoch_probe`]; [`current`](EpochProbe::current)
+/// never takes the table lock, which is what lets a software TLB revalidate
+/// cached mappings on the fast path.
+#[derive(Debug, Clone)]
+pub struct EpochProbe {
+    epoch: Arc<AtomicU64>,
+}
+
+impl EpochProbe {
+    /// The table's current protection epoch.
+    pub fn current(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 }
 
@@ -55,7 +126,8 @@ impl AccessOutcome {
 /// runtime crates.
 #[derive(Debug, Default)]
 pub struct PageTable {
-    frames: BTreeMap<PageId, PageFrame>,
+    frames: BTreeMap<PageId, FrameRef>,
+    epoch: Arc<AtomicU64>,
 }
 
 impl PageTable {
@@ -70,45 +142,86 @@ impl PageTable {
         self.frames.len()
     }
 
+    /// The current protection epoch. Monotone; bumped on every protection or
+    /// validity change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A handle that reads the protection epoch without the table lock.
+    pub fn epoch_probe(&self) -> EpochProbe {
+        EpochProbe { epoch: Arc::clone(&self.epoch) }
+    }
+
+    /// Advances the protection epoch, invalidating every cached mapping.
+    ///
+    /// Called internally on protection changes; exposed for operations that
+    /// replace page contents wholesale outside the protection machinery
+    /// (e.g. a push installing received data).
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
     /// The protection state of `page` (`Unmapped` if the node never touched
     /// it).
     pub fn protection(&self, page: PageId) -> Protection {
-        self.frames.get(&page).map_or(Protection::Unmapped, |f| f.protection)
+        self.frames.get(&page).map_or(Protection::Unmapped, |f| f.lock().protection)
     }
 
     /// Checks whether an access may proceed without a fault.
     pub fn check_access(&self, page: PageId, is_write: bool) -> AccessOutcome {
-        match self.protection(page) {
-            Protection::Unmapped => AccessOutcome::Unmapped,
-            Protection::Invalid => AccessOutcome::Invalid,
-            Protection::ReadOnly if is_write => AccessOutcome::WriteProtected,
-            Protection::ReadOnly | Protection::ReadWrite => AccessOutcome::Hit,
-        }
+        AccessOutcome::of(self.protection(page), is_write)
     }
 
-    /// Maps `page` zero-filled with the given protection, replacing any
-    /// existing frame.
-    pub fn map_zeroed(&mut self, page: PageId, protection: Protection) -> &mut PageFrame {
-        self.frames.insert(page, PageFrame::new(Page::zeroed(), protection));
-        self.frames.get_mut(&page).expect("frame just inserted")
+    /// Maps `page` zero-filled with the given protection. An existing frame
+    /// is reset in place (contents zeroed, twin dropped, dirty cleared) so
+    /// that outstanding [`FrameRef`]s keep observing the live frame.
+    pub fn map_zeroed(&mut self, page: PageId, protection: Protection) -> FrameRef {
+        let frame = match self.frames.get(&page) {
+            Some(frame) => {
+                let mut guard = frame.lock();
+                guard.page = Page::zeroed();
+                guard.protection = protection;
+                guard.twin = None;
+                guard.dirty = false;
+                Arc::clone(frame)
+            }
+            None => {
+                let frame = Arc::new(Mutex::new(PageFrame::new(Page::zeroed(), protection)));
+                self.frames.insert(page, Arc::clone(&frame));
+                frame
+            }
+        };
+        self.bump_epoch();
+        frame
     }
 
     /// Installs a received copy of `page` with the given protection.
     pub fn install(&mut self, page: PageId, contents: Page, protection: Protection) {
-        let frame =
-            self.frames.entry(page).or_insert_with(|| PageFrame::new(Page::zeroed(), protection));
-        frame.page = contents;
-        frame.protection = protection;
-        frame.twin = None;
-        frame.dirty = false;
+        let frame = self.frame_or_map_inner(page, protection);
+        let mut guard = frame.lock();
+        guard.page = contents;
+        guard.protection = protection;
+        guard.twin = None;
+        guard.dirty = false;
+        drop(guard);
+        self.bump_epoch();
+    }
+
+    fn frame_or_map_inner(&mut self, page: PageId, protection: Protection) -> FrameRef {
+        if let Some(frame) = self.frames.get(&page) {
+            return Arc::clone(frame);
+        }
+        let frame = Arc::new(Mutex::new(PageFrame::new(Page::zeroed(), protection)));
+        self.frames.insert(page, Arc::clone(&frame));
+        self.bump_epoch();
+        frame
     }
 
     /// Returns the frame for `page`, mapping it zero-filled read-write if the
     /// node never touched it (used by the node that "owns" the initial data).
-    pub fn frame_or_map(&mut self, page: PageId) -> &mut PageFrame {
-        self.frames
-            .entry(page)
-            .or_insert_with(|| PageFrame::new(Page::zeroed(), Protection::ReadWrite))
+    pub fn frame_or_map(&mut self, page: PageId) -> FrameRef {
+        self.frame_or_map_inner(page, Protection::ReadWrite)
     }
 
     /// Returns the frame for `page`.
@@ -116,17 +229,8 @@ impl PageTable {
     /// # Errors
     ///
     /// Returns [`MemError::Unmapped`] if the page is not mapped.
-    pub fn frame(&self, page: PageId) -> Result<&PageFrame, MemError> {
-        self.frames.get(&page).ok_or(MemError::Unmapped(page))
-    }
-
-    /// Returns the mutable frame for `page`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MemError::Unmapped`] if the page is not mapped.
-    pub fn frame_mut(&mut self, page: PageId) -> Result<&mut PageFrame, MemError> {
-        self.frames.get_mut(&page).ok_or(MemError::Unmapped(page))
+    pub fn frame(&self, page: PageId) -> Result<FrameRef, MemError> {
+        self.frames.get(&page).map(Arc::clone).ok_or(MemError::Unmapped(page))
     }
 
     /// Whether `page` is mapped at all.
@@ -135,25 +239,33 @@ impl PageTable {
     }
 
     /// Sets the protection of `page`, mapping it zero-filled if necessary.
+    /// The epoch is bumped only when the state actually changes.
     pub fn set_protection(&mut self, page: PageId, protection: Protection) {
-        self.frame_or_map(page).protection = protection;
+        let frame = self.frame_or_map_inner(page, protection);
+        let mut guard = frame.lock();
+        if guard.protection != protection {
+            guard.protection = protection;
+            drop(guard);
+            self.bump_epoch();
+        }
     }
 
     /// Marks `page` dirty and returns whether it was already dirty.
     pub fn mark_dirty(&mut self, page: PageId) -> bool {
         let frame = self.frame_or_map(page);
-        std::mem::replace(&mut frame.dirty, true)
+        let mut guard = frame.lock();
+        std::mem::replace(&mut guard.dirty, true)
     }
 
     /// The pages currently on the dirty list, in address order.
     pub fn dirty_pages(&self) -> Vec<PageId> {
-        self.frames.iter().filter(|(_, f)| f.dirty).map(|(&id, _)| id).collect()
+        self.frames.iter().filter(|(_, f)| f.lock().dirty).map(|(&id, _)| id).collect()
     }
 
     /// Clears the dirty flag of `page`.
     pub fn clear_dirty(&mut self, page: PageId) {
-        if let Some(frame) = self.frames.get_mut(&page) {
-            frame.dirty = false;
+        if let Some(frame) = self.frames.get(&page) {
+            frame.lock().dirty = false;
         }
     }
 
@@ -161,8 +273,9 @@ impl PageTable {
     /// one. Returns whether a twin was created.
     pub fn make_twin(&mut self, page: PageId) -> bool {
         let frame = self.frame_or_map(page);
-        if frame.twin.is_none() {
-            frame.twin = Some(frame.page.clone());
+        let mut guard = frame.lock();
+        if guard.twin.is_none() {
+            guard.twin = Some(guard.page.clone());
             true
         } else {
             false
@@ -171,13 +284,13 @@ impl PageTable {
 
     /// Whether `page` currently has a twin.
     pub fn has_twin(&self, page: PageId) -> bool {
-        self.frames.get(&page).is_some_and(|f| f.twin.is_some())
+        self.frames.get(&page).is_some_and(|f| f.lock().twin.is_some())
     }
 
     /// Discards the twin of `page`, if any.
     pub fn drop_twin(&mut self, page: PageId) {
-        if let Some(frame) = self.frames.get_mut(&page) {
-            frame.twin = None;
+        if let Some(frame) = self.frames.get(&page) {
+            frame.lock().twin = None;
         }
     }
 
@@ -187,8 +300,9 @@ impl PageTable {
     /// is left in place; callers decide when to retire it.
     pub fn create_diff(&self, page: PageId) -> Option<Diff> {
         let frame = self.frames.get(&page)?;
-        let twin = frame.twin.as_ref()?;
-        Some(Diff::create(twin.as_slice(), frame.page.as_slice()))
+        let guard = frame.lock();
+        let twin = guard.twin.as_ref()?;
+        Some(Diff::create(twin.as_slice(), guard.page.as_slice()))
     }
 
     /// Applies `diff` to the local copy of `page`, mapping it zero-filled if
@@ -199,11 +313,12 @@ impl PageTable {
     /// Propagates [`MemError`] from the diff application.
     pub fn apply_diff(&mut self, page: PageId, diff: &Diff) -> Result<(), MemError> {
         let frame = self.frame_or_map(page);
-        diff.apply(frame.page.as_mut_slice())?;
+        let mut guard = frame.lock();
+        diff.apply(guard.page.as_mut_slice())?;
         // If the page had a twin, keep the twin coherent with the idea that it
         // records the pre-*local*-modification state: remote diffs must also
         // land in the twin so they are not re-reported as local writes.
-        if let Some(twin) = frame.twin.as_mut() {
+        if let Some(twin) = guard.twin.as_mut() {
             diff.apply(twin.as_mut_slice())?;
         }
         Ok(())
@@ -223,7 +338,7 @@ impl PageTable {
             match self.frames.get(&page) {
                 Some(frame) => {
                     buf[filled..filled + chunk]
-                        .copy_from_slice(&frame.page.as_slice()[offset..offset + chunk]);
+                        .copy_from_slice(&frame.lock().page.as_slice()[offset..offset + chunk]);
                 }
                 None => buf[filled..filled + chunk].fill(0),
             }
@@ -241,11 +356,90 @@ impl PageTable {
             let offset = cursor.page_offset();
             let chunk = (PAGE_SIZE - offset).min(data.len() - written);
             let frame = self.frame_or_map(page);
-            frame.page.as_mut_slice()[offset..offset + chunk]
+            frame.lock().page.as_mut_slice()[offset..offset + chunk]
                 .copy_from_slice(&data[written..written + chunk]);
             written += chunk;
             cursor = cursor.offset(chunk);
         }
+    }
+
+    /// Reads `range` into `buf` with the protection check and the copy done
+    /// under **one frame resolution per page-run** (the bulk entry point the
+    /// fast access layer builds on, instead of check + copy per element).
+    ///
+    /// On a fault the bytes of preceding pages have already been copied;
+    /// callers resolve the fault and retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first page that does not allow a read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly `range.len()` bytes.
+    pub fn read_checked(&self, range: AddrRange, buf: &mut [u8]) -> Result<(), AccessFault> {
+        assert_eq!(buf.len(), range.len(), "buffer must cover the range exactly");
+        let mut cursor = range.start();
+        let mut filled = 0;
+        while filled < buf.len() {
+            let page = cursor.page();
+            let offset = cursor.page_offset();
+            let chunk = (PAGE_SIZE - offset).min(buf.len() - filled);
+            let Some(frame) = self.frames.get(&page) else {
+                return Err(AccessFault { page, outcome: AccessOutcome::Unmapped });
+            };
+            let guard = frame.lock();
+            if !guard.protection.allows_read() {
+                return Err(AccessFault {
+                    page,
+                    outcome: AccessOutcome::of(guard.protection, false),
+                });
+            }
+            buf[filled..filled + chunk]
+                .copy_from_slice(&guard.page.as_slice()[offset..offset + chunk]);
+            filled += chunk;
+            cursor = cursor.offset(chunk);
+        }
+        Ok(())
+    }
+
+    /// Writes `data` over `range` with the protection check and the copy done
+    /// under one frame resolution per page-run. Unlike
+    /// [`write_bytes`](Self::write_bytes) this never maps pages: a page that
+    /// is not mapped read-write is a fault the caller must resolve (twin +
+    /// write-enable), which keeps the write-detection protocol honest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first page that does not allow a write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `range.len()` bytes.
+    pub fn write_checked(&mut self, range: AddrRange, data: &[u8]) -> Result<(), AccessFault> {
+        assert_eq!(data.len(), range.len(), "data must cover the range exactly");
+        let mut cursor = range.start();
+        let mut written = 0;
+        while written < data.len() {
+            let page = cursor.page();
+            let offset = cursor.page_offset();
+            let chunk = (PAGE_SIZE - offset).min(data.len() - written);
+            let Some(frame) = self.frames.get(&page) else {
+                return Err(AccessFault { page, outcome: AccessOutcome::Unmapped });
+            };
+            let mut guard = frame.lock();
+            if !guard.protection.allows_write() {
+                return Err(AccessFault {
+                    page,
+                    outcome: AccessOutcome::of(guard.protection, true),
+                });
+            }
+            guard.page.as_mut_slice()[offset..offset + chunk]
+                .copy_from_slice(&data[written..written + chunk]);
+            written += chunk;
+            cursor = cursor.offset(chunk);
+        }
+        Ok(())
     }
 
     /// Copies the bytes of `range` out of the table (unmapped bytes read as
@@ -372,5 +566,86 @@ mod tests {
     fn frame_lookup_errors_on_unmapped() {
         let table = PageTable::new();
         assert!(matches!(table.frame(PageId(9)), Err(MemError::Unmapped(PageId(9)))));
+    }
+
+    #[test]
+    fn frame_handles_are_stable_across_install_and_remap() {
+        // A cached FrameRef must keep observing the live frame, or a stale
+        // software-TLB entry could read a detached copy with old protection.
+        let mut table = PageTable::new();
+        let page = PageId(2);
+        let frame = table.map_zeroed(page, Protection::ReadWrite);
+        let mut incoming = Page::zeroed();
+        incoming.as_mut_slice()[7] = 9;
+        table.install(page, incoming, Protection::ReadOnly);
+        let again = table.frame(page).unwrap();
+        assert!(Arc::ptr_eq(&frame, &again), "install must not replace the frame");
+        assert_eq!(frame.lock().protection, Protection::ReadOnly);
+        assert_eq!(frame.lock().page.as_slice()[7], 9);
+        table.map_zeroed(page, Protection::Invalid);
+        assert_eq!(frame.lock().protection, Protection::Invalid);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_validity_change_only() {
+        let mut table = PageTable::new();
+        let e0 = table.epoch();
+        table.map_zeroed(PageId(1), Protection::ReadOnly);
+        let e1 = table.epoch();
+        assert!(e1 > e0, "mapping a page is a validity change");
+        table.set_protection(PageId(1), Protection::ReadWrite);
+        let e2 = table.epoch();
+        assert!(e2 > e1, "a protection change bumps the epoch");
+        table.set_protection(PageId(1), Protection::ReadWrite);
+        assert_eq!(table.epoch(), e2, "a no-op protection change does not bump");
+        table.mark_dirty(PageId(1));
+        table.make_twin(PageId(1));
+        table.clear_dirty(PageId(1));
+        table.drop_twin(PageId(1));
+        assert_eq!(table.epoch(), e2, "twin/dirty bookkeeping does not bump");
+        table.install(PageId(1), Page::zeroed(), Protection::ReadOnly);
+        assert!(table.epoch() > e2, "installing a copy bumps");
+    }
+
+    #[test]
+    fn epoch_probe_reads_without_the_table() {
+        let table = PageTable::new();
+        let probe = table.epoch_probe();
+        let before = probe.current();
+        table.bump_epoch();
+        assert_eq!(probe.current(), before + 1);
+    }
+
+    #[test]
+    fn read_checked_copies_or_faults_per_page_run() {
+        let mut table = PageTable::new();
+        let range = AddrRange::new(Addr::new(PAGE_SIZE - 4), 8);
+        let mut buf = [0u8; 8];
+        // Both pages unmapped: fault on the first.
+        let fault = table.read_checked(range, &mut buf).unwrap_err();
+        assert_eq!(fault, AccessFault { page: PageId(0), outcome: AccessOutcome::Unmapped });
+        table.map_zeroed(PageId(0), Protection::ReadOnly);
+        table.map_zeroed(PageId(1), Protection::Invalid);
+        let fault = table.read_checked(range, &mut buf).unwrap_err();
+        assert_eq!(fault, AccessFault { page: PageId(1), outcome: AccessOutcome::Invalid });
+        table.set_protection(PageId(1), Protection::ReadOnly);
+        table.write_bytes(Addr::new(PAGE_SIZE - 4), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        table.read_checked(range, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn write_checked_requires_read_write_and_never_maps() {
+        let mut table = PageTable::new();
+        let range = AddrRange::new(Addr::new(16), 4);
+        let fault = table.write_checked(range, &[9; 4]).unwrap_err();
+        assert_eq!(fault.outcome, AccessOutcome::Unmapped);
+        assert_eq!(table.pages_in_use(), 0, "a faulting write must not map the page");
+        table.map_zeroed(PageId(0), Protection::ReadOnly);
+        let fault = table.write_checked(range, &[9; 4]).unwrap_err();
+        assert_eq!(fault.outcome, AccessOutcome::WriteProtected);
+        table.set_protection(PageId(0), Protection::ReadWrite);
+        table.write_checked(range, &[9; 4]).unwrap();
+        assert_eq!(table.read_range(range), vec![9; 4]);
     }
 }

@@ -100,6 +100,15 @@ define_stats! {
     pushes,
     /// Broadcast sends (one logical message delivered to all other nodes).
     broadcasts,
+    /// Acquisitions of a node's global page-table lock (the serialisation
+    /// point the software-TLB fast path exists to avoid).
+    table_lock_acquires,
+    /// Shared accesses served from the software TLB without touching the
+    /// global page-table lock.
+    tlb_hits,
+    /// Shared accesses that missed (or were staled out of) the software TLB
+    /// and took the slow, table-locked path.
+    tlb_misses,
 }
 
 impl StatsSnapshot {

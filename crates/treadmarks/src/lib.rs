@@ -69,6 +69,7 @@ mod process;
 mod server;
 mod sharedarray;
 mod state;
+mod tlb;
 mod types;
 
 pub use config::DsmConfig;

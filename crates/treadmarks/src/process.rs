@@ -25,7 +25,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use msgnet::{Endpoint, Envelope, NodeId, Port};
-use pagedmem::{AddrRange, PageId, Protection, SharedAlloc, PAGE_SIZE};
+use pagedmem::{AddrRange, EpochProbe, PageFrame, PageId, Protection, SharedAlloc, PAGE_SIZE};
 use sp2model::VirtualClock;
 
 use crate::config::DsmConfig;
@@ -34,6 +34,7 @@ use crate::notice::WriteNotice;
 use crate::server;
 use crate::sharedarray::{Shareable, SharedArray, SharedMatrix};
 use crate::state::{CachedDiff, DiffEntry, NodeShared};
+use crate::tlb::SoftTlb;
 use crate::types::{Interval, LockId, ProcId, Vt};
 
 /// The barrier master (the paper assigns the distinguished roles to
@@ -104,6 +105,11 @@ pub struct Process {
     /// Reply-port messages received while waiting for something else.
     pending: VecDeque<Envelope<TmkMessage>>,
     next_req_id: u64,
+    /// Software TLB: cached `(page, frame, epoch, writable)` mappings that
+    /// let warm accesses skip the global page-table lock entirely.
+    tlb: SoftTlb,
+    /// Lock-free view of the table's protection epoch.
+    epoch: EpochProbe,
 }
 
 impl Process {
@@ -112,6 +118,7 @@ impl Process {
         shared: Arc<NodeShared>,
         config: &DsmConfig,
     ) -> Process {
+        let epoch = shared.epoch.clone();
         Process {
             endpoint,
             shared,
@@ -119,6 +126,8 @@ impl Process {
             heap: SharedAlloc::with_capacity(config.heap_capacity),
             pending: VecDeque::new(),
             next_req_id: 1,
+            tlb: SoftTlb::new(),
+            epoch,
         }
     }
 
@@ -183,35 +192,228 @@ impl Process {
     }
 
     // ------------------------------------------------------------------
-    // The checked access path
+    // The checked access path (software TLB fast path + faulting slow path)
     // ------------------------------------------------------------------
+
+    /// The node's current protection epoch. The epoch advances on every
+    /// protection or validity change; software-TLB entries are valid only at
+    /// the epoch they were filled at.
+    pub fn protection_epoch(&self) -> u64 {
+        self.epoch.current()
+    }
+
+    /// Runs `f` on the frame of `page` with the access's legality
+    /// established. The warm path revalidates a cached mapping against the
+    /// protection epoch and re-checks the frame's own protection under the
+    /// per-frame lock — **zero global-table-lock acquisitions**. The cold
+    /// path runs the fault handler and refills the TLB.
+    fn page_op<R>(
+        &mut self,
+        page: PageId,
+        is_write: bool,
+        f: impl FnOnce(&mut PageFrame) -> R,
+    ) -> R {
+        loop {
+            let now = self.epoch.current();
+            if let Some(frame) = self.tlb.probe(page, is_write, now) {
+                let mut guard = frame.lock();
+                let allowed = if is_write {
+                    guard.protection.allows_write()
+                } else {
+                    guard.protection.allows_read()
+                };
+                if allowed {
+                    self.shared.stats.tlb_hits(1);
+                    return f(&mut guard);
+                }
+            }
+            self.shared.stats.tlb_misses(1);
+            self.slow_fill(page, is_write);
+        }
+    }
+
+    /// The cold path of an access: resolve any fault on `page`, then cache
+    /// the mapping (frame handle, epoch, writability) in the software TLB.
+    fn slow_fill(&mut self, page: PageId, is_write: bool) {
+        self.resolve_fault(page, is_write);
+        let (frame, epoch, writable) = {
+            let table = self.shared.lock_table();
+            (table.frame(page).ok(), table.epoch(), table.protection(page).allows_write())
+        };
+        if let Some(frame) = frame {
+            self.tlb.insert(page, frame, epoch, writable);
+        }
+    }
+
+    /// Ranged-path read of one element whose bytes straddle a page
+    /// boundary (only possible for views over unaligned bases).
+    fn read_straddling<T: Shareable>(&mut self, addr: pagedmem::Addr) -> T {
+        let mut buf = [0u8; 8];
+        self.read_into(AddrRange::new(addr, T::BYTES), &mut buf[..T::BYTES]);
+        T::load(&buf)
+    }
+
+    /// Ranged-path write of one page-straddling element.
+    fn write_straddling<T: Shareable>(&mut self, addr: pagedmem::Addr, value: T) {
+        let mut buf = [0u8; 8];
+        value.store(&mut buf[..T::BYTES]);
+        self.write_from(AddrRange::new(addr, T::BYTES), &buf[..T::BYTES]);
+    }
 
     /// Reads element `index` of `array` through the DSM consistency
     /// protocol, faulting and fetching diffs if the page is not valid.
     pub fn get<T: Shareable>(&mut self, array: &SharedArray<T>, index: usize) -> T {
         let addr = array.addr_of(index);
-        self.ensure_valid(AddrRange::new(addr, T::BYTES), false);
-        let mut buf = [0u8; 8];
-        let table = self.shared.table.lock();
-        table.read_bytes(addr, &mut buf[..T::BYTES]);
-        T::load(&buf)
+        let offset = addr.page_offset();
+        if offset + T::BYTES <= PAGE_SIZE {
+            self.page_op(addr.page(), false, |frame| T::load(&frame.page.as_slice()[offset..]))
+        } else {
+            self.read_straddling(addr)
+        }
     }
 
     /// Writes element `index` of `array`, faulting (twin creation, write
     /// enable) if the page is not writable.
     pub fn set<T: Shareable>(&mut self, array: &SharedArray<T>, index: usize, value: T) {
         let addr = array.addr_of(index);
-        self.ensure_valid(AddrRange::new(addr, T::BYTES), true);
-        let mut buf = [0u8; 8];
-        value.store(&mut buf[..T::BYTES]);
-        let mut table = self.shared.table.lock();
-        table.write_bytes(addr, &buf[..T::BYTES]);
+        let offset = addr.page_offset();
+        if offset + T::BYTES <= PAGE_SIZE {
+            self.page_op(addr.page(), true, |frame| {
+                value.store(&mut frame.page.as_mut_slice()[offset..]);
+            });
+        } else {
+            self.write_straddling(addr, value);
+        }
+    }
+
+    /// Reads elements `elems` of `array` into `out`, checking protection
+    /// **once per page** instead of once per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element range is out of bounds or `out` does not have
+    /// exactly `elems.len()` elements.
+    pub fn get_slice<T: Shareable>(
+        &mut self,
+        array: &SharedArray<T>,
+        elems: std::ops::Range<usize>,
+        out: &mut [T],
+    ) {
+        assert_eq!(out.len(), elems.len(), "output must hold the requested elements exactly");
+        let mut idx = elems.start;
+        let mut filled = 0;
+        while idx < elems.end {
+            let addr = array.addr_of(idx);
+            let offset = addr.page_offset();
+            let fit = ((PAGE_SIZE - offset) / T::BYTES).min(elems.end - idx);
+            if fit == 0 {
+                out[filled] = self.read_straddling(addr);
+                idx += 1;
+                filled += 1;
+                continue;
+            }
+            self.page_op(addr.page(), false, |frame| {
+                let bytes = frame.page.as_slice();
+                for (k, slot) in out[filled..filled + fit].iter_mut().enumerate() {
+                    *slot = T::load(&bytes[offset + k * T::BYTES..]);
+                }
+            });
+            idx += fit;
+            filled += fit;
+        }
+    }
+
+    /// Writes `values` over elements `elems` of `array`, checking protection
+    /// once per page instead of once per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element range is out of bounds or `values` does not
+    /// have exactly `elems.len()` elements.
+    pub fn set_slice<T: Shareable>(
+        &mut self,
+        array: &SharedArray<T>,
+        elems: std::ops::Range<usize>,
+        values: &[T],
+    ) {
+        assert_eq!(values.len(), elems.len(), "values must cover the element range exactly");
+        let mut idx = elems.start;
+        let mut consumed = 0;
+        while idx < elems.end {
+            let addr = array.addr_of(idx);
+            let offset = addr.page_offset();
+            let fit = ((PAGE_SIZE - offset) / T::BYTES).min(elems.end - idx);
+            if fit == 0 {
+                self.write_straddling(addr, values[consumed]);
+                idx += 1;
+                consumed += 1;
+                continue;
+            }
+            self.page_op(addr.page(), true, |frame| {
+                let bytes = frame.page.as_mut_slice();
+                for (k, value) in values[consumed..consumed + fit].iter().enumerate() {
+                    value.store(&mut bytes[offset + k * T::BYTES..]);
+                }
+            });
+            idx += fit;
+            consumed += fit;
+        }
+    }
+
+    /// Writes `values` over row `row`, columns `cols`, of a column-major
+    /// `matrix` — a strided access (one element per column) with the
+    /// protection check batched per page run rather than per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds or `values` does not have
+    /// exactly `cols.len()` elements.
+    pub fn update_row<T: Shareable>(
+        &mut self,
+        matrix: &SharedMatrix<T>,
+        row: usize,
+        cols: std::ops::Range<usize>,
+        values: &[T],
+    ) {
+        assert_eq!(values.len(), cols.len(), "values must cover the column range exactly");
+        let stride = matrix.rows() * T::BYTES;
+        let array = *matrix.array();
+        let mut col = cols.start;
+        let mut consumed = 0;
+        while col < cols.end {
+            let addr = array.addr_of(matrix.index(row, col));
+            let offset = addr.page_offset();
+            if offset + T::BYTES > PAGE_SIZE {
+                self.write_straddling(addr, values[consumed]);
+                col += 1;
+                consumed += 1;
+                continue;
+            }
+            // Consecutive columns whose element for this row lands on the
+            // same page form one run served under a single frame lock.
+            let mut run = 1;
+            while col + run < cols.end
+                && stride > 0
+                && offset + run * stride + T::BYTES <= PAGE_SIZE
+            {
+                run += 1;
+            }
+            self.page_op(addr.page(), true, |frame| {
+                let bytes = frame.page.as_mut_slice();
+                for (k, value) in values[consumed..consumed + run].iter().enumerate() {
+                    value.store(&mut bytes[offset + k * stride..]);
+                }
+            });
+            col += run;
+            consumed += run;
+        }
     }
 
     /// Reads the bytes of `range` through the consistency protocol.
     pub fn read_range(&mut self, range: AddrRange) -> Vec<u8> {
-        self.ensure_valid(range, false);
-        self.shared.table.lock().read_range(range)
+        let mut buf = vec![0u8; range.len()];
+        self.read_into(range, &mut buf);
+        buf
     }
 
     /// Writes `data` at `range` through the consistency protocol.
@@ -221,16 +423,74 @@ impl Process {
     /// Panics if `data` is not exactly `range.len()` bytes.
     pub fn write_range(&mut self, range: AddrRange, data: &[u8]) {
         assert_eq!(data.len(), range.len(), "data must fill the range exactly");
+        self.write_from(range, data);
+    }
+
+    /// Reads `range` into `buf`, resolving faults as the checked bulk read
+    /// reports them. Warm cost: one table lock for the whole range.
+    fn read_into(&mut self, range: AddrRange, buf: &mut [u8]) {
+        self.ensure_valid(range, false);
+        loop {
+            let fault = match self.shared.lock_table().read_checked(range, buf) {
+                Ok(()) => return,
+                Err(fault) => fault,
+            };
+            self.resolve_fault(fault.page, false);
+        }
+    }
+
+    /// Writes `data` over `range`, resolving faults as the checked bulk
+    /// write reports them. Warm cost: one table lock for the whole range.
+    fn write_from(&mut self, range: AddrRange, data: &[u8]) {
         self.ensure_valid(range, true);
-        self.shared.table.lock().write_bytes(range.start(), data);
+        loop {
+            let fault = match self.shared.lock_table().write_checked(range, data) {
+                Ok(()) => return,
+                Err(fault) => fault,
+            };
+            self.resolve_fault(fault.page, true);
+        }
     }
 
     /// Resolves faults so that every page of `range` allows the access.
+    /// Allocation free: pages are visited directly, and pages with a warm
+    /// TLB mapping are skipped without consulting the table.
     fn ensure_valid(&mut self, range: AddrRange, is_write: bool) {
-        let pages: Vec<PageId> = range.pages().collect();
-        for page in pages {
-            self.resolve_fault(page, is_write);
+        for page in range.pages() {
+            let now = self.epoch.current();
+            if self.tlb.probe(page, is_write, now).is_some() {
+                continue;
+            }
+            self.slow_fill(page, is_write);
         }
+    }
+
+    /// Pre-loads the software TLB for every page of `ranges` that is
+    /// already valid for the access, under a **single** table lock; invalid
+    /// pages are skipped and will fault normally. Returns the number of
+    /// pages warmed.
+    ///
+    /// This is the run-time half of the compiler interface's section
+    /// grants: a `Validate`/`Push` aggregate call warms the phase's
+    /// sections so the phase body takes zero checks.
+    pub fn warm_tlb(&mut self, ranges: &[AddrRange], is_write: bool) -> usize {
+        let table = self.shared.lock_table();
+        let epoch = table.epoch();
+        let mut warmed = 0;
+        for range in ranges {
+            for page in range.pages() {
+                let Ok(frame) = table.frame(page) else { continue };
+                let protection = frame.lock().protection;
+                let allowed =
+                    if is_write { protection.allows_write() } else { protection.allows_read() };
+                if !allowed {
+                    continue;
+                }
+                self.tlb.insert(page, frame, epoch, protection.allows_write());
+                warmed += 1;
+            }
+        }
+        warmed
     }
 
     /// The fault handler: runs when a checked access finds the page in a
@@ -238,12 +498,12 @@ impl Process {
     /// one fault (the handler performs fetch, twin and enable together,
     /// like the SIGSEGV handler of the original system).
     fn resolve_fault(&mut self, page: PageId, is_write: bool) {
-        let outcome = self.shared.table.lock().check_access(page, is_write);
+        let outcome = self.shared.lock_table().check_access(page, is_write);
         if !outcome.is_fault() {
             return;
         }
         self.shared.stats.page_faults(1);
-        let pages_in_use = self.shared.table.lock().pages_in_use();
+        let pages_in_use = self.shared.lock_table().pages_in_use();
         self.clock.advance(self.shared.cost.page_fault_cost(pages_in_use));
         match outcome {
             pagedmem::AccessOutcome::Unmapped | pagedmem::AccessOutcome::Invalid => {
@@ -262,7 +522,7 @@ impl Process {
     /// `WRITE_ALL`), enable, and put it on the dirty list.
     fn enable_write_after_fault(&mut self, page: PageId) {
         let proto = self.shared.proto.lock();
-        let mut table = self.shared.table.lock();
+        let mut table = self.shared.lock_table();
         if !proto.write_all_pages.contains(&page) && !table.has_twin(page) {
             table.make_twin(page);
             self.shared.stats.twins_created(1);
@@ -288,7 +548,7 @@ impl Process {
     /// and produce no notices).
     fn flush_interval(&mut self) {
         let mut proto = self.shared.proto.lock();
-        let mut table = self.shared.table.lock();
+        let mut table = self.shared.lock_table();
         let dirty = table.dirty_pages();
         if dirty.is_empty() {
             proto.write_all_pages.clear();
@@ -355,7 +615,7 @@ impl Process {
             return;
         }
         let mut proto = self.shared.proto.lock();
-        let mut table = self.shared.table.lock();
+        let mut table = self.shared.lock_table();
         let me = proto.me;
         let mut grouped: BTreeMap<(ProcId, Interval), Vec<PageId>> = BTreeMap::new();
         for n in notices {
@@ -506,7 +766,7 @@ impl Process {
         }
         records.sort_by_key(|r| (r.page, r.rank, r.proc, r.interval));
         let mut proto = self.shared.proto.lock();
-        let mut table = self.shared.table.lock();
+        let mut table = self.shared.lock_table();
         let mut applied = 0u64;
         let mut full_pages = 0u64;
         let mut apply_bytes = 0usize;
@@ -541,7 +801,7 @@ impl Process {
     /// pages still missing diffs stay invalid.
     fn revalidate_pages(&mut self, pages: &[PageId]) {
         let proto = self.shared.proto.lock();
-        let mut table = self.shared.table.lock();
+        let mut table = self.shared.lock_table();
         for &page in pages {
             if proto.page_missing.contains_key(&page) {
                 // `apply_diff` may have freshly mapped the frame read-write;
@@ -551,7 +811,7 @@ impl Process {
                 }
                 continue;
             }
-            let dirty = table.frame(page).map(|f| f.dirty).unwrap_or(false);
+            let dirty = table.frame(page).map(|f| f.lock().dirty).unwrap_or(false);
             let target = if dirty { Protection::ReadWrite } else { Protection::ReadOnly };
             match table.protection(page) {
                 Protection::Unmapped => {
@@ -596,7 +856,7 @@ impl Process {
     /// taken).
     pub fn create_twins(&mut self, ranges: &[AddrRange]) {
         let proto = self.shared.proto.lock();
-        let mut table = self.shared.table.lock();
+        let mut table = self.shared.lock_table();
         let mut twinned = 0u64;
         for range in ranges {
             for page in range.pages() {
@@ -629,7 +889,7 @@ impl Process {
     /// their missing diffs would lose remote writes to the uncovered bytes.
     pub fn write_enable(&mut self, ranges: &[AddrRange], write_all: bool) {
         let mut proto = self.shared.proto.lock();
-        let mut table = self.shared.table.lock();
+        let mut table = self.shared.lock_table();
         let pages_in_use = table.pages_in_use();
         let mut twinned = 0u64;
         for range in ranges {
@@ -661,7 +921,7 @@ impl Process {
     /// Write-protects every mapped page of `ranges`, one protection
     /// operation per contiguous range.
     pub fn write_protect(&mut self, ranges: &[AddrRange]) {
-        let mut table = self.shared.table.lock();
+        let mut table = self.shared.lock_table();
         let pages_in_use = table.pages_in_use();
         for range in ranges {
             for page in range.pages() {
@@ -683,18 +943,26 @@ impl Process {
     /// analyzable phase: the contents of each range in `sends` travel
     /// directly to their consumer, and one `PushData` message is awaited
     /// from every processor in `recv_from`. Received bytes are installed in
-    /// place — no twins, diffs, write notices or invalidations.
+    /// place — no twins, diffs, write notices or invalidations — and the
+    /// protection epoch is bumped (the install replaces contents wholesale,
+    /// so cached mappings must revalidate). Returns the ranges installed by
+    /// the received pushes, coalesced, so callers can re-warm the TLB for
+    /// the data the phase is about to consume.
     ///
     /// # Panics
     ///
     /// Panics if a destination or source is out of range or is this
     /// processor itself.
-    pub fn push_exchange(&mut self, sends: &[(ProcId, Vec<AddrRange>)], recv_from: &[ProcId]) {
+    pub fn push_exchange(
+        &mut self,
+        sends: &[(ProcId, Vec<AddrRange>)],
+        recv_from: &[ProcId],
+    ) -> Vec<AddrRange> {
         let me = self.proc_id();
         for &(dest, ref ranges) in sends {
             assert_ne!(dest, me, "a processor does not push to itself");
             let chunks: Vec<(AddrRange, Vec<u8>)> = {
-                let table = self.shared.table.lock();
+                let table = self.shared.lock_table();
                 AddrRange::coalesce(ranges.clone())
                     .into_iter()
                     .map(|r| (r, table.read_range(r)))
@@ -706,6 +974,7 @@ impl Process {
         }
         let mut outstanding: HashSet<ProcId> = recv_from.iter().copied().collect();
         assert!(!outstanding.contains(&me), "a processor does not receive its own push");
+        let mut installed = Vec::new();
         while !outstanding.is_empty() {
             let env = self.recv_reply(
                 |m| matches!(m, TmkMessage::PushData { from, .. } if outstanding.contains(from)),
@@ -713,7 +982,7 @@ impl Process {
             self.clock.observe(env.arrives_at);
             let TmkMessage::PushData { from, chunks } = env.payload else { unreachable!() };
             outstanding.remove(&from);
-            let mut table = self.shared.table.lock();
+            let mut table = self.shared.lock_table();
             for (range, data) in chunks {
                 table.write_bytes(range.start(), &data);
                 for page in range.pages() {
@@ -721,8 +990,11 @@ impl Process {
                         table.set_protection(page, Protection::ReadOnly);
                     }
                 }
+                installed.push(range);
             }
+            table.bump_epoch();
         }
+        AddrRange::coalesce(installed)
     }
 
     // ------------------------------------------------------------------
@@ -857,20 +1129,31 @@ impl Process {
         let n = self.nprocs();
         let mut sync_requests: Vec<SyncFetchRequest> = my_request.into_iter().collect();
         let mut arrivals: Vec<(ProcId, Vt)> = Vec::with_capacity(n - 1);
+        // Collect (and observe) every arrival before charging any
+        // processing cost: observation is a max and processing an addition,
+        // and only observe-all-then-advance is independent of the real
+        // thread-scheduling order the arrivals happen to come in.
+        let mut all_notices = Vec::new();
         for _ in 1..n {
             let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierArrival { .. }));
             self.clock.observe(env.arrives_at);
             let TmkMessage::BarrierArrival { proc, vt, notices, sync_request } = env.payload else {
                 unreachable!()
             };
-            self.record_notices(&notices);
+            all_notices.extend(notices);
             self.shared.proto.lock().vt.merge(&vt);
             if let Some(req) = sync_request {
                 sync_requests.push(req);
             }
             arrivals.push((proc, vt));
         }
+        self.record_notices(&all_notices);
+        arrivals.sort_by_key(|&(proc, _)| proc);
         self.clock.advance(self.shared.cost.barrier_master_cost(n));
+        // Serve and redistribute the piggybacked requests in processor
+        // order, not arrival order: every processor then answers them at
+        // deterministic virtual times, keeping whole runs reproducible.
+        sync_requests.sort_by_key(|r| r.proc);
         let departures: Vec<(ProcId, TmkMessage)> = {
             let mut proto = self.shared.proto.lock();
             let global_vt = proto.vt.clone();
@@ -931,7 +1214,7 @@ impl Process {
             self.clock.advance(self.shared.cost.sync_merge_scan_cost(req.pages.len()));
             let records = {
                 let proto = self.shared.proto.lock();
-                let table = self.shared.table.lock();
+                let table = self.shared.lock_table();
                 proto.diffs_for_pages_after(&req.pages, &req.vt, &table)
             };
             if records.is_empty() {
@@ -961,6 +1244,10 @@ impl Process {
                 .map(|n| n.proc)
                 .collect()
         };
+        // Observe every response before applying anything (see
+        // `barrier_master` for why observe-all-then-advance is what keeps
+        // virtual time independent of thread scheduling).
+        let mut records = Vec::new();
         while !outstanding.is_empty() {
             let env = self.recv_reply(
                 |m| matches!(m, TmkMessage::SyncDiffs { from, .. } if outstanding.contains(from)),
@@ -968,8 +1255,9 @@ impl Process {
             self.clock.observe(env.arrives_at);
             let TmkMessage::SyncDiffs { from, diffs } = env.payload else { unreachable!() };
             outstanding.remove(&from);
-            self.apply_diff_records(diffs);
+            records.extend(diffs);
         }
+        self.apply_diff_records(records);
         self.revalidate_pages(pages);
     }
 }

@@ -73,7 +73,7 @@ fn handle_diff_request(
     arrived_at: VirtualTime,
 ) {
     let proto = shared.proto.lock();
-    let table = shared.table.lock();
+    let table = shared.lock_table();
     let mut diffs = Vec::new();
     let mut materialised_pages = 0;
     for (page, intervals) in wants {
@@ -218,7 +218,7 @@ pub(crate) fn send_grant(
     with_notices: bool,
 ) {
     let proto = shared.proto.lock();
-    let table = shared.table.lock();
+    let table = shared.lock_table();
     let (notices, piggyback) = if with_notices {
         (
             proto.notices_for(requester_vt),

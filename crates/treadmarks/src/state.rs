@@ -162,7 +162,7 @@ impl ProtoState {
 /// Creates a full-page diff from the node's current copy of `page`.
 pub(crate) fn full_page_diff(table: &PageTable, page: PageId) -> Diff {
     match table.frame(page) {
-        Ok(frame) => Diff::full_page(frame.page.as_slice()),
+        Ok(frame) => Diff::full_page(frame.lock().page.as_slice()),
         // The page was never materialised locally (it is still all zeros).
         Err(_) => Diff::full_page(&vec![0u8; pagedmem::PAGE_SIZE]),
     }
@@ -176,6 +176,9 @@ pub(crate) struct NodeShared {
     pub proto: Mutex<ProtoState>,
     pub stats: SharedStats,
     pub cost: CostModel,
+    /// Lock-free view of the table's protection epoch, used by the software
+    /// TLB to revalidate cached mappings without taking the table lock.
+    pub epoch: pagedmem::EpochProbe,
 }
 
 impl NodeShared {
@@ -185,12 +188,25 @@ impl NodeShared {
         cost: CostModel,
         stats: SharedStats,
     ) -> NodeShared {
+        let table = PageTable::new();
+        let epoch = table.epoch_probe();
         NodeShared {
-            table: Mutex::new(PageTable::new()),
+            table: Mutex::new(table),
             proto: Mutex::new(ProtoState::new(me, nprocs)),
             stats,
             cost,
+            epoch,
         }
+    }
+
+    /// Acquires the node's global page-table lock, counting the acquisition.
+    ///
+    /// Every table access in the runtime goes through this helper so the
+    /// `table_lock_acquires` counter faithfully measures what the software
+    /// TLB's zero-lock fast path avoids.
+    pub(crate) fn lock_table(&self) -> std::sync::MutexGuard<'_, PageTable> {
+        self.stats.table_lock_acquires(1);
+        self.table.lock()
     }
 }
 

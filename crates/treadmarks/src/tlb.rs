@@ -1,0 +1,108 @@
+//! The per-processor software TLB.
+//!
+//! Every checked access used to take the node's global page-table lock at
+//! least twice (protection check + byte copy). The software TLB removes
+//! both: it caches, per page, a [`FrameRef`] (the individually lockable
+//! frame handle from `pagedmem`) together with the protection epoch at
+//! which the mapping was observed and whether it was writable.
+//!
+//! A probe is valid only while the table's protection epoch is unchanged —
+//! the epoch bumps on *every* protection or validity change (write-protect
+//! at flush, invalidate at acquire or barrier, push installs), so a stale
+//! entry can never satisfy a probe. Even if it somehow did, the access
+//! path re-checks the frame's own protection under the frame lock before
+//! touching bytes; see `DESIGN.md`, "The software TLB and why epochs are
+//! sufficient".
+//!
+//! The cache is direct-mapped, like a classic hardware TLB: page id modulo
+//! [`TLB_SLOTS`]. Conflicts simply evict — correctness never depends on an
+//! entry being present.
+
+use pagedmem::{FrameRef, PageId};
+
+/// Number of direct-mapped TLB slots per processor.
+pub(crate) const TLB_SLOTS: usize = 256;
+
+#[derive(Debug)]
+struct TlbEntry {
+    page: PageId,
+    frame: FrameRef,
+    epoch: u64,
+    writable: bool,
+}
+
+/// A direct-mapped cache of page → frame mappings, validated by epoch.
+#[derive(Debug)]
+pub(crate) struct SoftTlb {
+    slots: Vec<Option<TlbEntry>>,
+}
+
+impl SoftTlb {
+    pub(crate) fn new() -> SoftTlb {
+        SoftTlb { slots: (0..TLB_SLOTS).map(|_| None).collect() }
+    }
+
+    fn slot(page: PageId) -> usize {
+        page.0 % TLB_SLOTS
+    }
+
+    /// The cached frame for `page`, provided the entry was filled at the
+    /// current protection `epoch` and allows the requested access.
+    pub(crate) fn probe(&self, page: PageId, is_write: bool, epoch: u64) -> Option<&FrameRef> {
+        match &self.slots[Self::slot(page)] {
+            Some(e) if e.page == page && e.epoch == epoch && (!is_write || e.writable) => {
+                Some(&e.frame)
+            }
+            _ => None,
+        }
+    }
+
+    /// Caches `frame` as the mapping of `page`, observed at `epoch`.
+    pub(crate) fn insert(&mut self, page: PageId, frame: FrameRef, epoch: u64, writable: bool) {
+        self.slots[Self::slot(page)] = Some(TlbEntry { page, frame, epoch, writable });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_core::sync::Mutex;
+    use pagedmem::{Page, PageFrame, Protection};
+    use std::sync::Arc;
+
+    fn frame() -> FrameRef {
+        Arc::new(Mutex::new(PageFrame {
+            page: Page::zeroed(),
+            protection: Protection::ReadOnly,
+            twin: None,
+            dirty: false,
+        }))
+    }
+
+    #[test]
+    fn probe_hits_only_at_the_fill_epoch() {
+        let mut tlb = SoftTlb::new();
+        tlb.insert(PageId(3), frame(), 7, false);
+        assert!(tlb.probe(PageId(3), false, 7).is_some());
+        assert!(tlb.probe(PageId(3), false, 8).is_none(), "stale epoch must miss");
+        assert!(tlb.probe(PageId(3), true, 7).is_none(), "read entry must not allow writes");
+        assert!(tlb.probe(PageId(4), false, 7).is_none());
+    }
+
+    #[test]
+    fn writable_entries_serve_reads_and_writes() {
+        let mut tlb = SoftTlb::new();
+        tlb.insert(PageId(1), frame(), 1, true);
+        assert!(tlb.probe(PageId(1), false, 1).is_some());
+        assert!(tlb.probe(PageId(1), true, 1).is_some());
+    }
+
+    #[test]
+    fn conflicting_pages_evict_each_other() {
+        let mut tlb = SoftTlb::new();
+        tlb.insert(PageId(5), frame(), 1, false);
+        tlb.insert(PageId(5 + TLB_SLOTS), frame(), 1, false);
+        assert!(tlb.probe(PageId(5), false, 1).is_none(), "direct-mapped conflict evicts");
+        assert!(tlb.probe(PageId(5 + TLB_SLOTS), false, 1).is_some());
+    }
+}

@@ -1,7 +1,9 @@
-//! Prints the message/byte/fault counts of the same neighbour-exchange
-//! access pattern under the four protocol variants, reproducing the
-//! paper's qualitative result: each step up the interface (`Validate`,
-//! `Validate_w_sync`, `Push`) strictly reduces traffic.
+//! Prints the message/byte/fault counts, table-lock acquisitions and TLB
+//! hit counts of the same neighbour-exchange access pattern under the four
+//! protocol variants, reproducing the paper's qualitative result: each
+//! step up the interface (`Validate`, `Validate_w_sync`, `Push`) strictly
+//! reduces traffic — and, with the software TLB, the optimized variants
+//! run their access phases without touching the global page-table lock.
 //!
 //! Run with `cargo run --example traffic`.
 
@@ -18,6 +20,18 @@ fn main() {
     let elems = NPROCS * PAGES_PER_PROC * ELEMS_PER_PAGE;
     let chunk = elems / NPROCS;
     let cfg = || DsmConfig::new(NPROCS).with_cost_model(CostModel::sp2());
+    let report = |name: &str, run: &ctrt_dsm::treadmarks::DsmRun<u64>| {
+        let t = run.stats.total();
+        println!(
+            "{name:16} msgs={:4} bytes={:7} segv={:3} tlocks={:5} tlb_hits={:6} time={}",
+            t.messages_sent,
+            t.bytes_sent,
+            t.page_faults,
+            t.table_lock_acquires,
+            t.tlb_hits,
+            run.execution_time()
+        );
+    };
     let pattern = |p: &mut Process, mode: u8| {
         let a = p.alloc_array::<u64>(elems);
         let me = p.proc_id();
@@ -33,20 +47,15 @@ fn main() {
                 p.barrier();
                 validate(p, &[section]);
             }
-            _ => validate_w_sync(p, SyncOp::Barrier, &[section]),
+            _ => {
+                validate_w_sync(p, SyncOp::Barrier, &[section]);
+            }
         }
         wanted.map(|i| p.get(&a, i)).sum::<u64>()
     };
     for (name, mode) in [("plain faulting", 0u8), ("Validate", 1), ("Validate_w_sync", 2)] {
         let run = Dsm::run(cfg(), |p| pattern(p, mode));
-        let t = run.stats.total();
-        println!(
-            "{name:16} msgs={:4} bytes={:7} segv={:3} time={}",
-            t.messages_sent,
-            t.bytes_sent,
-            t.page_faults,
-            run.execution_time()
-        );
+        report(name, &run);
     }
     let run = Dsm::run(cfg(), |p| {
         let a = p.alloc_array::<u64>(elems);
@@ -61,13 +70,5 @@ fn main() {
         push_phase(p, &[Push::new(consumer, std::slice::from_ref(&mine))], &[producer]);
         (producer * chunk..(producer + 1) * chunk).map(|i| p.get(&a, i)).sum::<u64>()
     });
-    let t = run.stats.total();
-    println!(
-        "{:16} msgs={:4} bytes={:7} segv={:3} time={}",
-        "Push",
-        t.messages_sent,
-        t.bytes_sent,
-        t.page_faults,
-        run.execution_time()
-    );
+    report("Push", &run);
 }
