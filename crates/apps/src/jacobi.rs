@@ -5,13 +5,48 @@
 //! the roles swap. Columns are distributed over processors in contiguous
 //! blocks (column-major layout makes a block one contiguous address range);
 //! each sweep a processor reads its own block plus one boundary column from
-//! each neighbour.
+//! each neighbour. Destination columns depend only on the source grid, so
+//! they may be written in any order — the split-phase form exploits this to
+//! sweep the interior columns while the boundary columns are in flight.
 
-use ctrt::{validate, validate_w_sync, warm_sections, Access, RegularSection, SyncOp};
-use treadmarks::Process;
+use ctrt::{
+    validate, validate_w_sync_complete, validate_w_sync_issue, warm_sections, Access,
+    RegularSection, SyncOp,
+};
+use treadmarks::{Process, SharedMatrix};
 
-use crate::sor::exchange_boundaries;
-use crate::{col_block, col_elems, seed, GridConfig, Variant};
+use crate::sor::{exchange_boundaries, ColBufs};
+use crate::{col_block, col_elems, seed, split_columns, GridConfig, Variant};
+
+/// Sweeps the contiguous destination columns `cols`: each interior cell of
+/// `dst` becomes the four-point average of `src`, boundary rows are copied.
+/// Reads only `src`, so the column order is free — bit-identical however
+/// the sweep is split.
+fn sweep_cols(
+    p: &mut Process,
+    src: &SharedMatrix<f64>,
+    dst: &SharedMatrix<f64>,
+    cols: std::ops::Range<usize>,
+    bufs: &mut ColBufs,
+) {
+    if cols.is_empty() {
+        return;
+    }
+    let rows = src.rows();
+    p.get_slice(src.array(), col_elems(src, cols.start - 1), &mut bufs.prev);
+    p.get_slice(src.array(), col_elems(src, cols.start), &mut bufs.cur);
+    for j in cols {
+        p.get_slice(src.array(), col_elems(src, j + 1), &mut bufs.next);
+        bufs.out[0] = bufs.cur[0];
+        for i in 1..rows - 1 {
+            bufs.out[i] = 0.25 * (bufs.cur[i - 1] + bufs.cur[i + 1] + bufs.prev[i] + bufs.next[i]);
+        }
+        bufs.out[rows - 1] = bufs.cur[rows - 1];
+        p.set_slice(dst.array(), col_elems(dst, j), &bufs.out);
+        std::mem::swap(&mut bufs.prev, &mut bufs.cur);
+        std::mem::swap(&mut bufs.cur, &mut bufs.next);
+    }
+}
 
 /// Runs the Jacobi kernel in the given variant and returns this
 /// processor's checksum (the sum over its own column block of the final
@@ -33,6 +68,7 @@ pub fn jacobi(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
     let (lo, hi) = (mine.start, mine.end);
     // The columns this processor updates; global boundary columns are fixed.
     let update = lo.max(1)..hi.min(cols - 1);
+    let (interior, left_edge, right_edge) = split_columns(&update, lo > 0, hi < cols);
 
     // Identical deterministic initial condition in both grids. The
     // baseline writes it per element through the checked path; the
@@ -69,47 +105,23 @@ pub fn jacobi(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
         }
     }
     match variant {
-        Variant::TreadMarks | Variant::Validate => p.barrier(),
+        Variant::TreadMarks => p.barrier(),
+        // The Validate form needs no separate barrier here: the first
+        // sweep's `validate_w_sync_issue` *is* the phase boundary.
+        Variant::Validate => {}
         // The first sweep reads grid `a`: seed the neighbours' boundary
         // columns point-to-point.
         Variant::Push => exchange_boundaries(p, &a, lo, hi),
     }
 
-    let mut prev = vec![0.0f64; rows];
-    let mut cur = vec![0.0f64; rows];
-    let mut next = vec![0.0f64; rows];
-    let mut out = vec![0.0f64; rows];
+    let mut bufs = ColBufs::new(rows);
     for t in 0..iters {
         let (src, dst) = if t % 2 == 0 { (&a, &b) } else { (&b, &a) };
         let read = lo.saturating_sub(1)..(hi + 1).min(cols);
         match variant {
-            Variant::TreadMarks => p.barrier(),
-            Variant::Validate => {
-                let mut sections =
-                    vec![RegularSection::matrix_cols(src, read.clone(), Access::Read)];
-                if !update.is_empty() {
-                    sections.push(RegularSection::matrix_cols(
-                        dst,
-                        update.clone(),
-                        Access::WriteAll,
-                    ));
-                }
-                validate_w_sync(p, SyncOp::Barrier, &sections);
-            }
-            Variant::Push => {
-                // Data already moved point-to-point; just re-warm the
-                // fast-path mappings the pushes staled out.
-                let mut sections =
-                    vec![RegularSection::matrix_cols(src, read.clone(), Access::Read)];
-                if !update.is_empty() {
-                    sections.push(RegularSection::matrix_cols(dst, update.clone(), Access::Write));
-                }
-                warm_sections(p, &sections);
-            }
-        }
-        match variant {
             // The baseline: every element access is a checked access.
             Variant::TreadMarks => {
+                p.barrier();
                 for j in update.clone() {
                     for i in 1..rows - 1 {
                         let v = 0.25
@@ -125,31 +137,47 @@ pub fn jacobi(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
                     p.set(dst.array(), dst.index(rows - 1, j), bottom);
                 }
             }
-            // The optimized forms: bulk accessors over warmed mappings.
-            Variant::Validate | Variant::Push => {
+            // Split-phase: issue the merged fetch at the phase boundary,
+            // sweep the interior columns while the neighbours' boundary
+            // columns are in flight, complete, then sweep the (at most two)
+            // boundary-adjacent columns.
+            Variant::Validate => {
+                let mut sections =
+                    vec![RegularSection::matrix_cols(src, read.clone(), Access::Read)];
                 if !update.is_empty() {
-                    p.get_slice(src.array(), col_elems(src, update.start - 1), &mut prev);
-                    p.get_slice(src.array(), col_elems(src, update.start), &mut cur);
-                    for j in update.clone() {
-                        p.get_slice(src.array(), col_elems(src, j + 1), &mut next);
-                        out[0] = cur[0];
-                        for i in 1..rows - 1 {
-                            out[i] = 0.25 * (cur[i - 1] + cur[i + 1] + prev[i] + next[i]);
-                        }
-                        out[rows - 1] = cur[rows - 1];
-                        p.set_slice(dst.array(), col_elems(dst, j), &out);
-                        std::mem::swap(&mut prev, &mut cur);
-                        std::mem::swap(&mut cur, &mut next);
-                    }
+                    sections.push(RegularSection::matrix_cols(
+                        dst,
+                        update.clone(),
+                        Access::WriteAll,
+                    ));
                 }
+                let pending = validate_w_sync_issue(p, SyncOp::Barrier, &sections);
+                sweep_cols(p, src, dst, interior.clone(), &mut bufs);
+                validate_w_sync_complete(p, pending);
+                sweep_cols(p, src, dst, left_edge.clone(), &mut bufs);
+                sweep_cols(p, src, dst, right_edge.clone(), &mut bufs);
             }
-        }
-        if variant == Variant::Push {
-            exchange_boundaries(p, dst, lo, hi);
+            Variant::Push => {
+                // Data already moved point-to-point; just re-warm the
+                // fast-path mappings the pushes staled out.
+                let mut sections =
+                    vec![RegularSection::matrix_cols(src, read.clone(), Access::Read)];
+                if !update.is_empty() {
+                    sections.push(RegularSection::matrix_cols(dst, update.clone(), Access::Write));
+                }
+                warm_sections(p, &sections);
+                sweep_cols(p, src, dst, update.clone(), &mut bufs);
+                exchange_boundaries(p, dst, lo, hi);
+            }
         }
     }
 
     let final_grid = if iters % 2 == 0 { &a } else { &b };
+    // The push exchanges staled every mapping; re-warm the block once
+    // instead of slow-filling per page.
+    if variant == Variant::Push {
+        warm_sections(p, &[RegularSection::matrix_cols(final_grid, mine.clone(), Access::Read)]);
+    }
     let mut sum = 0.0;
     for j in mine {
         p.get_slice(final_grid.array(), col_elems(final_grid, j), &mut colbuf);

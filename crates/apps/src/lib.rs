@@ -86,9 +86,49 @@ pub(crate) fn col_elems(m: &treadmarks::SharedMatrix<f64>, j: usize) -> std::ops
     start..start + m.rows()
 }
 
+/// Splits a block's updated columns into the interior range — columns whose
+/// stencil reads only this processor's own columns — and the at-most-two
+/// boundary-adjacent edge ranges that read a neighbour's column. The
+/// split-phase variants compute the interior between `issue` and
+/// `complete` (overlapping the boundary fetch) and the edges afterwards.
+pub(crate) fn split_columns(
+    update: &std::ops::Range<usize>,
+    left_remote: bool,
+    right_remote: bool,
+) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+    if update.is_empty() {
+        let empty = update.start..update.start;
+        return (empty.clone(), empty.clone(), empty);
+    }
+    let interior_start = (update.start + usize::from(left_remote)).min(update.end);
+    let interior_end = (update.end - usize::from(right_remote)).max(interior_start);
+    (interior_start..interior_end, update.start..interior_start, interior_end..update.end)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_columns_partitions_the_update_block() {
+        // Interior proc: both flanks remote.
+        let (interior, left, right) = split_columns(&(4..12), true, true);
+        assert_eq!((interior, left, right), (5..11, 4..5, 11..12));
+        // Edge procs: the global-boundary flank is local.
+        let (interior, left, right) = split_columns(&(1..8), false, true);
+        assert_eq!((interior, left, right), (1..7, 1..1, 7..8));
+        let (interior, left, right) = split_columns(&(24..31), true, false);
+        assert_eq!((interior, left, right), (25..31, 24..25, 31..31));
+        // Degenerate single-column block: exactly one edge range computes
+        // it, never both.
+        let (interior, left, right) = split_columns(&(4..5), true, true);
+        assert!(interior.is_empty());
+        assert_eq!(left, 4..5);
+        assert!(right.is_empty());
+        // Empty update: everything empty.
+        let (interior, left, right) = split_columns(&(3..3), true, true);
+        assert!(interior.is_empty() && left.is_empty() && right.is_empty());
+    }
 
     #[test]
     fn col_blocks_partition_the_columns() {

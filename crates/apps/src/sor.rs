@@ -5,15 +5,40 @@
 //! every *black* cell against its (red) neighbours, with a phase boundary
 //! between the half-sweeps. Because a cell's neighbours always have the
 //! opposite colour, in-place update and buffered update compute identical
-//! values — which keeps the three variants bit-for-bit comparable.
+//! values, and the columns of one half-sweep may be relaxed in any order —
+//! which keeps the three variants bit-for-bit comparable *and* lets the
+//! split-phase form compute interior columns while the boundary fetch is
+//! still in flight.
 
-use ctrt::{validate, validate_w_sync, warm_sections, Access, Push, RegularSection, SyncOp};
+use ctrt::{
+    validate, validate_w_sync_complete, validate_w_sync_issue, warm_sections, Access, Push,
+    RegularSection, SyncOp,
+};
 use treadmarks::{Process, SharedMatrix};
 
-use crate::{col_block, col_elems, seed, GridConfig, Variant};
+use crate::{col_block, col_elems, seed, split_columns, GridConfig, Variant};
 
 /// Over-relaxation factor.
 const OMEGA: f64 = 1.25;
+
+/// Scratch columns for the streaming relaxation.
+pub(crate) struct ColBufs {
+    pub prev: Vec<f64>,
+    pub cur: Vec<f64>,
+    pub next: Vec<f64>,
+    pub out: Vec<f64>,
+}
+
+impl ColBufs {
+    pub(crate) fn new(rows: usize) -> ColBufs {
+        ColBufs {
+            prev: vec![0.0; rows],
+            cur: vec![0.0; rows],
+            next: vec![0.0; rows],
+            out: vec![0.0; rows],
+        }
+    }
+}
 
 /// Point-to-point exchange of block-boundary columns of `m`: column `lo`
 /// travels to the left neighbour, column `hi - 1` to the right, and the
@@ -35,6 +60,41 @@ pub(crate) fn exchange_boundaries(p: &mut Process, m: &SharedMatrix<f64>, lo: us
     ctrt::push_phase(p, &sends, &recv);
 }
 
+/// Relaxes the `colour` cells of the contiguous columns `cols` in place,
+/// streaming three columns at a time through the bulk accessors. Columns of
+/// one half-sweep only read cells of the opposite colour in adjacent
+/// columns (untouched this half-sweep), so any column order — in
+/// particular interior-before-boundary — computes bit-identical values.
+fn relax_cols(
+    p: &mut Process,
+    m: &SharedMatrix<f64>,
+    cols: std::ops::Range<usize>,
+    colour: usize,
+    bufs: &mut ColBufs,
+) {
+    if cols.is_empty() {
+        return;
+    }
+    let rows = m.rows();
+    p.get_slice(m.array(), col_elems(m, cols.start - 1), &mut bufs.prev);
+    p.get_slice(m.array(), col_elems(m, cols.start), &mut bufs.cur);
+    for j in cols {
+        p.get_slice(m.array(), col_elems(m, j + 1), &mut bufs.next);
+        bufs.out.copy_from_slice(&bufs.cur);
+        for i in 1..rows - 1 {
+            if (i + j) % 2 != colour {
+                continue;
+            }
+            let old = bufs.cur[i];
+            let avg = 0.25 * (bufs.cur[i - 1] + bufs.cur[i + 1] + bufs.prev[i] + bufs.next[i]);
+            bufs.out[i] = old + OMEGA * (avg - old);
+        }
+        p.set_slice(m.array(), col_elems(m, j), &bufs.out);
+        std::mem::swap(&mut bufs.prev, &mut bufs.cur);
+        std::mem::swap(&mut bufs.cur, &mut bufs.next);
+    }
+}
+
 /// Runs red-black SOR in the given variant and returns this processor's
 /// checksum (the sum over its own column block of the final grid).
 ///
@@ -51,6 +111,10 @@ pub fn sor(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
     let mine = col_block(cols, nprocs, me);
     let (lo, hi) = (mine.start, mine.end);
     let update = lo.max(1)..hi.min(cols - 1);
+    // Columns whose relaxation reads only this processor's own data, and
+    // the (at most two) boundary-adjacent columns that read a neighbour's
+    // column — what the split-phase form computes before/after `complete`.
+    let (interior, left_edge, right_edge) = split_columns(&update, lo > 0, hi < cols);
 
     // Deterministic initial condition: per element for the baseline, a
     // WRITE_ALL-validated bulk phase for the optimized forms. For Push the
@@ -76,50 +140,39 @@ pub fn sor(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
         }
     }
     match variant {
-        Variant::TreadMarks | Variant::Validate => p.barrier(),
+        Variant::TreadMarks => p.barrier(),
+        // The Validate form needs no separate barrier here: the first
+        // half-sweep's `validate_w_sync_issue` *is* the phase boundary.
+        Variant::Validate => {}
         Variant::Push => exchange_boundaries(p, &m, lo, hi),
     }
 
-    let mut prev = vec![0.0f64; rows];
-    let mut cur = vec![0.0f64; rows];
-    let mut next = vec![0.0f64; rows];
-    let mut out = vec![0.0f64; rows];
+    // The sections of one half-sweep: the columns flanking the update block
+    // are read (a neighbour's boundary column, or a fixed global boundary
+    // column — covering the latter keeps the fast path warm), and the
+    // update block is read and then fully overwritten (`set_slice` rewrites
+    // every byte of every update column) — the paper's READ&WRITE_ALL:
+    // fetched, but twin-free.
+    let half_sweep_sections = |m: &SharedMatrix<f64>| {
+        let mut sections = Vec::new();
+        if !update.is_empty() {
+            sections.push(RegularSection::matrix_cols(
+                m,
+                update.start - 1..update.start,
+                Access::Read,
+            ));
+            sections.push(RegularSection::matrix_cols(m, update.end..update.end + 1, Access::Read));
+            sections.push(RegularSection::matrix_cols(m, update.clone(), Access::ReadWriteAll));
+        }
+        sections
+    };
+
+    let mut bufs = ColBufs::new(rows);
     for _ in 0..iters {
         for colour in 0..2usize {
             match variant {
-                Variant::TreadMarks => p.barrier(),
-                Variant::Validate => {
-                    let mut sections = Vec::new();
-                    if lo > 0 {
-                        sections.push(RegularSection::matrix_cols(&m, lo - 1..lo, Access::Read));
-                    }
-                    if hi < cols {
-                        sections.push(RegularSection::matrix_cols(&m, hi..hi + 1, Access::Read));
-                    }
-                    if !update.is_empty() {
-                        sections.push(RegularSection::matrix_cols(
-                            &m,
-                            update.clone(),
-                            Access::ReadWrite,
-                        ));
-                    }
-                    validate_w_sync(p, SyncOp::Barrier, &sections);
-                }
-                Variant::Push => {
-                    let read = lo.saturating_sub(1)..(hi + 1).min(cols);
-                    let mut sections = vec![RegularSection::matrix_cols(&m, read, Access::Read)];
-                    if !update.is_empty() {
-                        sections.push(RegularSection::matrix_cols(
-                            &m,
-                            update.clone(),
-                            Access::Write,
-                        ));
-                    }
-                    warm_sections(p, &sections);
-                }
-            }
-            match variant {
                 Variant::TreadMarks => {
+                    p.barrier();
                     for j in update.clone() {
                         for i in 1..rows - 1 {
                             if (i + j) % 2 != colour {
@@ -135,34 +188,41 @@ pub fn sor(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
                         }
                     }
                 }
-                Variant::Validate | Variant::Push => {
-                    if !update.is_empty() {
-                        p.get_slice(m.array(), col_elems(&m, update.start - 1), &mut prev);
-                        p.get_slice(m.array(), col_elems(&m, update.start), &mut cur);
-                        for j in update.clone() {
-                            p.get_slice(m.array(), col_elems(&m, j + 1), &mut next);
-                            out.copy_from_slice(&cur);
-                            for i in 1..rows - 1 {
-                                if (i + j) % 2 != colour {
-                                    continue;
-                                }
-                                let old = cur[i];
-                                let avg = 0.25 * (cur[i - 1] + cur[i + 1] + prev[i] + next[i]);
-                                out[i] = old + OMEGA * (avg - old);
-                            }
-                            p.set_slice(m.array(), col_elems(&m, j), &out);
-                            std::mem::swap(&mut prev, &mut cur);
-                            std::mem::swap(&mut cur, &mut next);
-                        }
-                    }
+                Variant::Validate => {
+                    // Split-phase: issue the merged fetch at the phase
+                    // boundary, relax the interior columns while the
+                    // neighbours' boundary columns are in flight, complete,
+                    // then relax the boundary-adjacent columns.
+                    let pending =
+                        validate_w_sync_issue(p, SyncOp::Barrier, &half_sweep_sections(&m));
+                    relax_cols(p, &m, interior.clone(), colour, &mut bufs);
+                    validate_w_sync_complete(p, pending);
+                    relax_cols(p, &m, left_edge.clone(), colour, &mut bufs);
+                    relax_cols(p, &m, right_edge.clone(), colour, &mut bufs);
                 }
-            }
-            if variant == Variant::Push {
-                exchange_boundaries(p, &m, lo, hi);
+                Variant::Push => {
+                    let read = lo.saturating_sub(1)..(hi + 1).min(cols);
+                    let mut sections = vec![RegularSection::matrix_cols(&m, read, Access::Read)];
+                    if !update.is_empty() {
+                        sections.push(RegularSection::matrix_cols(
+                            &m,
+                            update.clone(),
+                            Access::Write,
+                        ));
+                    }
+                    warm_sections(p, &sections);
+                    relax_cols(p, &m, update.clone(), colour, &mut bufs);
+                    exchange_boundaries(p, &m, lo, hi);
+                }
             }
         }
     }
 
+    // The push exchanges staled every mapping (each install bumps the
+    // epoch); re-warm the block once instead of slow-filling per page.
+    if variant == Variant::Push {
+        warm_sections(p, &[RegularSection::matrix_cols(&m, mine.clone(), Access::Read)]);
+    }
     let mut sum = 0.0;
     for j in mine {
         p.get_slice(m.array(), col_elems(&m, j), &mut colbuf);

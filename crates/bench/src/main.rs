@@ -1,18 +1,18 @@
 //! Command-line entry point of the benchmark harness.
 //!
-//! * `cargo run -p dsm-bench` — run the suite and write `BENCH_PR2.json`
+//! * `cargo run -p dsm-bench` — run the suite and write `BENCH_PR3.json`
 //!   (path configurable with `--out`), printing a summary table.
 //! * `cargo run -p dsm-bench -- --check` — run the suite and compare it
 //!   against the checked-in baseline (path configurable with
-//!   `--baseline`), exiting non-zero if the gated record regresses.
+//!   `--baseline`), exiting non-zero if a gated record regresses.
 
 use dsm_bench::{check_regression, render_json, suite};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check = false;
-    let mut out = String::from("BENCH_PR2.json");
-    let mut baseline = String::from("BENCH_PR2.json");
+    let mut out = String::from("BENCH_PR3.json");
+    let mut baseline = String::from("BENCH_PR3.json");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {

@@ -14,7 +14,7 @@
 //! The legality contract for each call is specified in `DESIGN.md`.
 
 use pagedmem::AddrRange;
-use treadmarks::{ProcId, Process, SyncOp};
+use treadmarks::{PendingSync, PhasePlan, ProcId, Process, SyncOp};
 
 use crate::section::RegularSection;
 
@@ -51,38 +51,34 @@ impl SectionGrant {
     }
 }
 
-/// Splits sections into the ranges whose old contents must be fetched and
-/// the write-preparation work (twinned vs `WRITE_ALL`).
-fn plan(sections: &[RegularSection]) -> (Vec<AddrRange>, Vec<AddrRange>, Vec<AddrRange>) {
-    let mut fetch = Vec::new();
-    let mut write_twinned = Vec::new();
-    let mut write_all = Vec::new();
+/// Lowers sections to the [`PhasePlan`] the runtime's aggregate entry
+/// points consume: the fetch list, the write-preparation lists (twinned vs
+/// `WRITE_ALL` vs `READ&WRITE_ALL`) and the warm list.
+fn plan(sections: &[RegularSection]) -> PhasePlan {
+    let mut plan = PhasePlan::default();
+    let mut warm = Vec::new();
     for section in sections {
         let access = section.access();
         if access.needs_fetch() {
-            fetch.extend_from_slice(section.ranges());
+            plan.fetch.extend_from_slice(section.ranges());
         }
         if access.is_write() {
-            if access.is_write_all() {
-                write_all.extend_from_slice(section.ranges());
+            if !access.is_write_all() {
+                plan.write_twinned.extend_from_slice(section.ranges());
+            } else if access.needs_fetch() {
+                plan.read_write_all.extend_from_slice(section.ranges());
             } else {
-                write_twinned.extend_from_slice(section.ranges());
+                plan.write_all.extend_from_slice(section.ranges());
             }
         }
+        warm.extend(section.ranges().iter().map(|&r| (r, access.is_write())));
     }
-    (AddrRange::coalesce(fetch), AddrRange::coalesce(write_twinned), AddrRange::coalesce(write_all))
-}
-
-/// Performs the write-preparation half of a validate: batch twin creation
-/// and write enabling, so the phase's writes take no faults.
-fn prepare_writes(p: &mut Process, write_twinned: &[AddrRange], write_all: &[AddrRange]) {
-    if !write_twinned.is_empty() {
-        p.create_twins(write_twinned);
-        p.write_enable(write_twinned, false);
-    }
-    if !write_all.is_empty() {
-        p.write_enable(write_all, true);
-    }
+    plan.fetch = AddrRange::coalesce(plan.fetch);
+    plan.write_twinned = AddrRange::coalesce(plan.write_twinned);
+    plan.write_all = AddrRange::coalesce(plan.write_all);
+    plan.read_write_all = AddrRange::coalesce(plan.read_write_all);
+    plan.warm = warm;
+    plan
 }
 
 /// Pre-loads the software TLB for `sections` (read sections as readable,
@@ -91,10 +87,12 @@ fn prepare_writes(p: &mut Process, write_twinned: &[AddrRange], write_all: &[Add
 /// `push_phase`; also useful standalone for a phase whose data is already
 /// local (e.g. the producer side of a push loop).
 pub fn warm_sections(p: &mut Process, sections: &[RegularSection]) -> SectionGrant {
-    let mut pages_warmed = 0;
-    for section in sections {
-        pages_warmed += p.warm_tlb(section.ranges(), section.access().is_write());
-    }
+    // One warm list, one table lock, however many sections.
+    let warm: Vec<(AddrRange, bool)> = sections
+        .iter()
+        .flat_map(|s| s.ranges().iter().map(|&r| (r, s.access().is_write())))
+        .collect();
+    let pages_warmed = p.warm_mappings(&warm);
     SectionGrant { pages_warmed, epoch: p.protection_epoch() }
 }
 
@@ -110,13 +108,13 @@ pub fn warm_sections(p: &mut Process, sections: &[RegularSection]) -> SectionGra
 /// correctness-neutral (missed pages simply fault as usual).
 pub fn validate(p: &mut Process, sections: &[RegularSection]) -> SectionGrant {
     p.stats().validates(1);
-    let (fetch, write_twinned, write_all) = plan(sections);
-    if !fetch.is_empty() {
-        let handle = p.fetch_diffs(&fetch);
+    let plan = plan(sections);
+    if !plan.fetch.is_empty() {
+        let handle = p.fetch_diffs(&plan.fetch);
         p.apply_fetch(handle);
     }
-    prepare_writes(p, &write_twinned, &write_all);
-    warm_sections(p, sections)
+    let pages_warmed = p.prepare_phase(&plan);
+    SectionGrant { pages_warmed, epoch: p.protection_epoch() }
 }
 
 /// `Validate_w_sync(sync_op, regions)`: performs the synchronization
@@ -124,7 +122,8 @@ pub fn validate(p: &mut Process, sections: &[RegularSection]) -> SectionGrant {
 /// consistency traffic (write notices) and the requested data travel in
 /// the same messages — for a barrier, producers answer with at most one
 /// aggregated message each; for a lock, the releaser's diffs ride on the
-/// grant itself.
+/// grant itself. Equivalent to [`validate_w_sync_issue`] followed
+/// immediately by [`validate_w_sync_complete`].
 ///
 /// **Contract:** the call *replaces* the plain `barrier()` /
 /// `lock_acquire()` of the phase boundary (do not call both), and it is
@@ -134,10 +133,66 @@ pub fn validate(p: &mut Process, sections: &[RegularSection]) -> SectionGrant {
 /// faults lazily as usual.
 pub fn validate_w_sync(p: &mut Process, sync: SyncOp, sections: &[RegularSection]) -> SectionGrant {
     p.stats().validate_w_syncs(1);
-    let (fetch, write_twinned, write_all) = plan(sections);
-    p.fetch_diffs_w_sync(sync, &fetch);
-    prepare_writes(p, &write_twinned, &write_all);
-    warm_sections(p, sections)
+    let plan = plan(sections);
+    let pending = p.sync_phase_issue(sync, &plan);
+    let pages_warmed = p.sync_phase_complete(pending);
+    SectionGrant { pages_warmed, epoch: p.protection_epoch() }
+}
+
+/// The in-flight half of a split-phase [`validate_w_sync_issue`]. Pass it
+/// to [`validate_w_sync_complete`] at the point where the phase first needs
+/// the fetched data.
+///
+/// Dropping the handle without completing it leaks nothing but forfeits the
+/// fetch: the pending pages stay invalid and fault lazily (correct, slow) —
+/// hence the `must_use`.
+#[must_use = "a split-phase validate completes only when passed to validate_w_sync_complete"]
+#[derive(Debug)]
+pub struct PendingValidate {
+    pending: PendingSync,
+}
+
+impl PendingValidate {
+    /// Number of response messages still outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.pending.outstanding()
+    }
+}
+
+/// The issue half of a split-phase `Validate_w_sync`: performs the
+/// synchronization operation exactly like [`validate_w_sync`] — the page
+/// list rides on the barrier arrival or lock-acquire request — but returns
+/// **without waiting for the diff responses**. Written sections whose pages
+/// are already consistent are prepared (twins, write enables) and warmed
+/// immediately, so the caller can overlap computation on local data with
+/// the fetch latency; sections still missing remote diffs stay invalid
+/// until the completion.
+///
+/// Safe by construction: a page the caller touches before completing simply
+/// takes the ordinary fault path (a redundant but correct fetch) — the
+/// pending handle never exposes stale data. The overlap contract is purely
+/// a performance matter: compute on what is local, complete, then compute
+/// on what was fetched.
+pub fn validate_w_sync_issue(
+    p: &mut Process,
+    sync: SyncOp,
+    sections: &[RegularSection],
+) -> PendingValidate {
+    p.stats().validate_w_syncs(1);
+    p.stats().split_phase_issues(1);
+    let plan = plan(sections);
+    PendingValidate { pending: p.sync_phase_issue(sync, &plan) }
+}
+
+/// The completion half of a split-phase `Validate_w_sync`: waits for every
+/// outstanding response of the issue, applies the whole batch in causal
+/// (rank) order, finishes deferred write preparation and re-warms the
+/// sections' fast-path mappings. Returns the grant for the now-consistent
+/// phase.
+pub fn validate_w_sync_complete(p: &mut Process, pending: PendingValidate) -> SectionGrant {
+    p.stats().split_phase_completes(1);
+    let pages_warmed = p.sync_phase_complete(pending.pending);
+    SectionGrant { pages_warmed, epoch: p.protection_epoch() }
 }
 
 /// `Push(dest, regions)`: describes one destination of a [`push_phase`] —
@@ -179,7 +234,8 @@ pub fn push_phase(p: &mut Process, sends: &[Push], recv_from: &[ProcId]) -> Sect
     p.stats().pushes(1);
     let plan: Vec<(ProcId, Vec<AddrRange>)> =
         sends.iter().map(|push| (push.dest, push.regions.clone())).collect();
-    let received = p.push_exchange(&plan, recv_from);
-    let pages_warmed = p.warm_tlb(&received, false);
-    SectionGrant { pages_warmed, epoch: p.protection_epoch() }
+    // The exchange warms the received ranges under the same table-lock hold
+    // that installs them.
+    let receipt = p.push_exchange(&plan, recv_from);
+    SectionGrant { pages_warmed: receipt.pages_warmed, epoch: p.protection_epoch() }
 }

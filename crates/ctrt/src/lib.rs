@@ -50,5 +50,8 @@
 mod api;
 mod section;
 
-pub use api::{push_phase, validate, validate_w_sync, warm_sections, Push, SectionGrant};
+pub use api::{
+    push_phase, validate, validate_w_sync, validate_w_sync_complete, validate_w_sync_issue,
+    warm_sections, PendingValidate, Push, SectionGrant,
+};
 pub use section::{Access, RegularSection, SyncOp};

@@ -36,8 +36,9 @@ impl<M> Clone for Mailbox<M> {
 
 /// A fully connected simulated cluster of `n` nodes.
 ///
-/// `Cluster` is a factory: build it once, then [`into_endpoints`]
-/// (Self::into_endpoints) and hand one [`Endpoint`] to each node thread.
+/// `Cluster` is a factory: build it once, then
+/// [`into_endpoints`](Self::into_endpoints) and hand one [`Endpoint`] to
+/// each node thread.
 pub struct Cluster<M> {
     endpoints: Vec<Endpoint<M>>,
 }

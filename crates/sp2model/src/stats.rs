@@ -98,6 +98,17 @@ define_stats! {
     validate_w_syncs,
     /// `Push` exchanges replacing barriers.
     pushes,
+    /// Split-phase `Validate_w_sync` issue halves: the fetch was issued at a
+    /// synchronization point and left pending while computation continued.
+    split_phase_issues,
+    /// Split-phase completion halves: pending responses were collected,
+    /// rank-sorted and applied at the matching acquire point.
+    split_phase_completes,
+    /// Virtual nanoseconds a completion actually stalled waiting for sync
+    /// responses (`max(arrival) - now`, clamped at zero). Work done between
+    /// issue and complete hides fetch latency and shrinks this number — the
+    /// split-phase overlap made measurable.
+    sync_wait_ns,
     /// Broadcast sends (one logical message delivered to all other nodes).
     broadcasts,
     /// Acquisitions of a node's global page-table lock (the serialisation

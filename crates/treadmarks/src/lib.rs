@@ -76,6 +76,6 @@ pub use config::DsmConfig;
 pub use dsm::{Dsm, DsmRun};
 pub use message::TmkMessage;
 pub use notice::{NoticeLog, WriteNotice};
-pub use process::{FetchHandle, Process, SyncOp};
+pub use process::{FetchHandle, PendingSync, PhasePlan, Process, PushReceipt, SyncOp};
 pub use sharedarray::{Shareable, SharedArray, SharedMatrix};
 pub use types::{Interval, LockId, ProcId, Vt};

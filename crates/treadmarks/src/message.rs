@@ -143,6 +143,13 @@ pub enum TmkMessage {
     SyncDiffs {
         /// The providing processor.
         from: ProcId,
+        /// The barrier ordinal the request was piggybacked on. Barriers are
+        /// globally matched collectives, so every processor's own barrier
+        /// count names the same synchronization point; a completion only
+        /// accepts responses with its own ordinal, which keeps the stale
+        /// responses of an abandoned (dropped) pending handle from being
+        /// mistaken for a later barrier's data.
+        seq: u64,
         /// The diffs the provider holds for the requested pages.
         diffs: Vec<DiffRecord>,
     },
@@ -187,7 +194,7 @@ impl TmkMessage {
                 8 + diffs.iter().map(DiffRecord::wire_bytes).sum::<usize>()
             }
             TmkMessage::SyncDiffs { diffs, .. } => {
-                4 + diffs.iter().map(DiffRecord::wire_bytes).sum::<usize>()
+                12 + diffs.iter().map(DiffRecord::wire_bytes).sum::<usize>()
             }
             TmkMessage::PushData { chunks, .. } => {
                 4 + chunks.iter().map(|(_, data)| 16 + data.len()).sum::<usize>()

@@ -33,7 +33,7 @@ use crate::message::{DiffRecord, SyncFetchRequest, TmkMessage};
 use crate::notice::WriteNotice;
 use crate::server;
 use crate::sharedarray::{Shareable, SharedArray, SharedMatrix};
-use crate::state::{CachedDiff, DiffEntry, NodeShared};
+use crate::state::{CachedDiff, DiffEntry, NodeShared, ProtoState};
 use crate::tlb::SoftTlb;
 use crate::types::{Interval, LockId, ProcId, Vt};
 
@@ -91,6 +91,337 @@ impl FetchHandle {
     }
 }
 
+/// A lowered description of one compiler-analyzed phase: what must be
+/// fetched, how written pages are prepared, and which mappings to pre-load
+/// into the software TLB. Built by the `ctrt` crate from `RegularSection`s;
+/// consumed by the aggregate entry points
+/// ([`Process::sync_phase_issue`]/[`Process::sync_phase_complete`] and
+/// [`Process::prepare_phase`]) so that *all* per-phase protocol work happens
+/// under a single page-table-lock hold per synchronization step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhasePlan {
+    /// Ranges whose old contents must be made consistent before the phase.
+    pub fetch: Vec<AddrRange>,
+    /// Written ranges that need a twin (partial writes; old contents
+    /// survive for unwritten words).
+    pub write_twinned: Vec<AddrRange>,
+    /// Ranges under the pure `WRITE_ALL` assertion: every byte overwritten
+    /// before the next release and never read first — no twin, no fetch,
+    /// pending invalidations for fully covered pages are discarded.
+    pub write_all: Vec<AddrRange>,
+    /// Ranges under `READ&WRITE_ALL`: read first, then every byte
+    /// overwritten — fetched like a read, but no twin is kept (the flush
+    /// ships the whole page).
+    pub read_write_all: Vec<AddrRange>,
+    /// `(range, writable)` mappings to pre-load into the software TLB.
+    pub warm: Vec<(AddrRange, bool)>,
+}
+
+impl PhasePlan {
+    /// A plan that only fetches `ranges` (no write preparation, no
+    /// warming) — what the bare `fetch_diffs_w_sync` primitive needs.
+    pub fn fetch_only(ranges: &[AddrRange]) -> PhasePlan {
+        PhasePlan { fetch: ranges.to_vec(), ..PhasePlan::default() }
+    }
+
+    /// Whether the plan requests any work at all.
+    pub fn is_empty(&self) -> bool {
+        self.fetch.is_empty()
+            && self.write_twinned.is_empty()
+            && self.write_all.is_empty()
+            && self.read_write_all.is_empty()
+            && self.warm.is_empty()
+    }
+}
+
+/// Write preparation postponed at issue time because the page still had
+/// missing diffs: enabling it early would let the phase read stale bytes
+/// through the fast path. The preparation is finished at the completion,
+/// after the diffs landed.
+#[derive(Debug, Clone, Copy)]
+struct DeferredWrite {
+    page: PageId,
+    /// `true` for `READ&WRITE_ALL` pages (no twin at completion), `false`
+    /// for ordinary twinned writes.
+    write_all: bool,
+}
+
+/// The in-flight half of a split-phase `Validate_w_sync`.
+///
+/// Returned by [`Process::sync_phase_issue`]: the synchronization operation
+/// itself has been performed (the barrier crossed or the lock acquired, with
+/// the section page list piggybacked), the diff requests are on the wire,
+/// and write preparation plus TLB warming have been done for every page that
+/// was already consistent. Pass the handle to
+/// [`Process::sync_phase_complete`] to collect the responses, apply them in
+/// causal (rank) order and finish the deferred preparation.
+///
+/// The handle never exposes stale data: pages with outstanding diffs stay
+/// invalid until completion, so a premature access simply takes the
+/// ordinary fault path (a redundant but correct fetch).
+#[must_use = "a split-phase sync completes only when passed to Process::sync_phase_complete"]
+#[derive(Debug)]
+pub struct PendingSync {
+    /// Every page the merged fetch covers.
+    pages: Vec<PageId>,
+    /// The barrier ordinal the request rode on: a completion accepts only
+    /// `SyncDiffs` carrying this ordinal, so the responses of an abandoned
+    /// (dropped) handle can never satisfy a later barrier's completion.
+    seq: u64,
+    /// Processors that will answer with a `SyncDiffs` message (barrier).
+    responders: HashSet<ProcId>,
+    /// Diff records already in hand (lock-grant piggyback), applied at
+    /// completion together with everything else so causally ordered
+    /// same-page diffs land in rank order across messages.
+    piggyback: Vec<DiffRecord>,
+    /// Outstanding `(responder, request id)` pairs of third-party fetches.
+    fetch_expected: Vec<(ProcId, u64)>,
+    /// Write preparation postponed until the missing diffs have landed.
+    deferred: Vec<DeferredWrite>,
+    /// Mappings to (re-)warm at completion.
+    warm: Vec<(AddrRange, bool)>,
+}
+
+impl PendingSync {
+    /// Number of response messages still outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.responders.len() + self.fetch_expected.len()
+    }
+
+    /// The pages the merged fetch covers.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+}
+
+/// The outcome of a [`Process::push_exchange`].
+#[derive(Debug, Clone)]
+pub struct PushReceipt {
+    /// The address ranges installed by the received pushes, coalesced.
+    pub installed: Vec<AddrRange>,
+    /// Fast-path mappings warmed for the received data (under the same
+    /// table-lock hold as the install).
+    pub pages_warmed: usize,
+}
+
+/// Counts the maximal runs of consecutive page ids in a sorted list — the
+/// number of `mprotect` calls a range-based protection change costs.
+fn contiguous_runs(pages: &[PageId]) -> u64 {
+    let mut runs = 0u64;
+    let mut prev: Option<PageId> = None;
+    for &page in pages {
+        if prev.is_none_or(|p| p.0 + 1 != page.0) {
+            runs += 1;
+        }
+        prev = Some(page);
+    }
+    runs
+}
+
+/// What [`apply_notices_locked`] did, for cost charging after the hold.
+struct NoticeTally {
+    recorded: u64,
+    invalidation_runs: u64,
+}
+
+/// Records incoming write notices under an already-held lock pair: appends
+/// them to the notice log, extends the per-page missing lists and
+/// invalidates local copies. Duplicate notices are ignored. Costs are
+/// charged by the caller from the returned tally (one protection operation
+/// per contiguous run of invalidated pages, like the range `mprotect` of
+/// the original system).
+fn apply_notices_locked(
+    proto: &mut ProtoState,
+    table: &mut pagedmem::PageTable,
+    notices: &[WriteNotice],
+) -> NoticeTally {
+    let me = proto.me;
+    let mut grouped: BTreeMap<(ProcId, Interval), Vec<PageId>> = BTreeMap::new();
+    for n in notices {
+        if n.proc == me {
+            continue;
+        }
+        grouped.entry((n.proc, n.interval)).or_default().push(n.page);
+    }
+    let mut recorded = 0u64;
+    let mut invalidated = Vec::new();
+    for ((proc, interval), pages) in grouped {
+        if !proto.notice_log.record(proc, interval, pages.clone()) {
+            continue;
+        }
+        recorded += pages.len() as u64;
+        for page in pages {
+            proto.page_missing.entry(page).or_default().push((proc, interval));
+            match table.protection(page) {
+                Protection::ReadOnly | Protection::ReadWrite => {
+                    table.set_protection(page, Protection::Invalid);
+                    invalidated.push(page);
+                }
+                Protection::Unmapped | Protection::Invalid => {}
+            }
+        }
+    }
+    invalidated.sort_unstable();
+    NoticeTally { recorded, invalidation_runs: contiguous_runs(&invalidated) }
+}
+
+/// What write preparation did, for cost charging after the hold.
+struct PrepTally {
+    twinned: u64,
+    protect_ranges: u64,
+}
+
+/// Write-enables one page of a written section: the `WRITE_ALL` treatment
+/// (no twin — the flush ships the whole page) or the ordinary twinned
+/// path. Shared by issue-time preparation and the completion's deferred
+/// preparation so the two can never diverge. Returns whether a twin was
+/// created.
+fn enable_written_page(
+    proto: &mut ProtoState,
+    table: &mut pagedmem::PageTable,
+    page: PageId,
+    write_all: bool,
+) -> bool {
+    let mut twinned = false;
+    if write_all {
+        proto.write_all_pages.insert(page);
+        table.frame_or_map(page);
+    } else if !proto.write_all_pages.contains(&page) && table.make_twin(page) {
+        twinned = true;
+    }
+    table.set_protection(page, Protection::ReadWrite);
+    table.mark_dirty(page);
+    twinned
+}
+
+/// Prepares a plan's written pages under an already-held lock pair: twin
+/// creation and write enabling for twinned writes, the `WRITE_ALL`
+/// treatment for fully covered pages of `write_all`/`read_write_all`
+/// ranges. With `defer_missing`, pages that still have missing diffs are
+/// *not* enabled (that would let the phase read stale bytes through the
+/// fast path) but pushed onto `deferred`, to be finished at the completion
+/// after the diffs have been applied. `READ&WRITE_ALL` pages additionally
+/// never discard their missing diffs when deferring — the application
+/// reads the fetched values before overwriting them.
+fn prep_writes_locked(
+    proto: &mut ProtoState,
+    table: &mut pagedmem::PageTable,
+    plan: &PhasePlan,
+    defer_missing: bool,
+    deferred: &mut Vec<DeferredWrite>,
+) -> PrepTally {
+    let mut twinned = 0u64;
+    for range in &plan.write_twinned {
+        for page in range.pages() {
+            if defer_missing && proto.page_missing.contains_key(&page) {
+                deferred.push(DeferredWrite { page, write_all: false });
+                continue;
+            }
+            twinned += u64::from(enable_written_page(proto, table, page, false));
+        }
+    }
+    for (ranges, reads_first) in [(&plan.write_all, false), (&plan.read_write_all, true)] {
+        for range in ranges {
+            for page in range.pages() {
+                // Only fully covered pages get the WRITE_ALL treatment;
+                // partially covered boundary pages keep the ordinary fault
+                // path (twin + fetch), because discarding their missing
+                // diffs would lose remote writes to the uncovered bytes.
+                let fully_covered = range.start() <= page.base() && page.end() <= range.end();
+                if !fully_covered {
+                    continue;
+                }
+                if reads_first && defer_missing && proto.page_missing.contains_key(&page) {
+                    deferred.push(DeferredWrite { page, write_all: true });
+                    continue;
+                }
+                if !reads_first {
+                    proto.page_missing.remove(&page);
+                }
+                enable_written_page(proto, table, page, true);
+            }
+        }
+    }
+    let protect_ranges =
+        (plan.write_twinned.len() + plan.write_all.len() + plan.read_write_all.len()) as u64;
+    PrepTally { twinned, protect_ranges }
+}
+
+/// Pre-loads the software TLB for every already-consistent page of the warm
+/// list, under an already-held table lock. Invalid pages are skipped (they
+/// fault — and refill — lazily).
+fn warm_ranges_locked(
+    tlb: &mut SoftTlb,
+    table: &pagedmem::PageTable,
+    warm: &[(AddrRange, bool)],
+) -> usize {
+    let epoch = table.epoch();
+    let mut warmed = 0;
+    for &(range, is_write) in warm {
+        for page in range.pages() {
+            let Ok(frame) = table.frame(page) else { continue };
+            let protection = frame.lock().protection;
+            let allowed =
+                if is_write { protection.allows_write() } else { protection.allows_read() };
+            if !allowed {
+                continue;
+            }
+            tlb.insert(page, frame, epoch, protection.allows_write());
+            warmed += 1;
+        }
+    }
+    warmed
+}
+
+/// Answers the piggybacked fetch requests of other processors from the
+/// local diff cache, under an already-held lock pair: for each request, the
+/// diffs this node created for the requested pages newer than the
+/// requester's advertised timestamp. Returns the per-requester record
+/// batches plus the number of distinct pages *examined* (requested pages
+/// this node holds diffs for — non-owned pages cost one index probe, not a
+/// range scan) and full pages materialised. The whole synchronization
+/// point is served in one pass, so each examined page is charged once no
+/// matter how many requests name it.
+fn serve_requests_locked(
+    proto: &ProtoState,
+    table: &pagedmem::PageTable,
+    requests: &[SyncFetchRequest],
+    me: ProcId,
+) -> (Vec<(ProcId, Vec<DiffRecord>)>, usize, usize) {
+    let mut out = Vec::new();
+    let mut examined: HashSet<PageId> = HashSet::new();
+    let mut materialised = 0usize;
+    for req in requests {
+        if req.proc == me {
+            continue;
+        }
+        let (records, full_pages, pages_examined) =
+            proto.diffs_for_pages_after_counted(&req.pages, &req.vt, table);
+        examined.extend(pages_examined);
+        materialised += full_pages;
+        if records.is_empty() {
+            continue;
+        }
+        out.push((req.proc, records));
+    }
+    (out, examined.len(), materialised)
+}
+
+/// The processors that will answer this node's own piggybacked request with
+/// a `SyncDiffs` message: every other processor with a recorded
+/// modification of a requested page above the advertised timestamp sends
+/// exactly one.
+fn responders_locked(proto: &ProtoState, pages: &[PageId], vt: &Vt) -> HashSet<ProcId> {
+    let page_set: HashSet<PageId> = pages.iter().copied().collect();
+    proto
+        .notice_log
+        .notices_after(vt)
+        .into_iter()
+        .filter(|n| n.proc != proto.me && page_set.contains(&n.page))
+        .map(|n| n.proc)
+        .collect()
+}
+
 /// One simulated processor of a DSM run.
 ///
 /// Created by [`Dsm::run`](crate::Dsm::run), one per node thread. All
@@ -110,6 +441,11 @@ pub struct Process {
     tlb: SoftTlb,
     /// Lock-free view of the table's protection epoch.
     epoch: EpochProbe,
+    /// How many barriers this processor has entered. Barriers are globally
+    /// matched, so the count names the same synchronization point on every
+    /// processor; it sequences `SyncDiffs` responses (see
+    /// [`TmkMessage::SyncDiffs`]).
+    barrier_seq: u64,
 }
 
 impl Process {
@@ -128,6 +464,7 @@ impl Process {
             next_req_id: 1,
             tlb: SoftTlb::new(),
             epoch,
+            barrier_seq: 0,
         }
     }
 
@@ -465,32 +802,17 @@ impl Process {
         }
     }
 
-    /// Pre-loads the software TLB for every page of `ranges` that is
-    /// already valid for the access, under a **single** table lock; invalid
-    /// pages are skipped and will fault normally. Returns the number of
-    /// pages warmed.
+    /// Pre-loads the software TLB for a whole warm list — `(range,
+    /// writable)` pairs from any number of sections — under a **single**
+    /// table lock. Pages not yet valid for the access are skipped and
+    /// fault normally. Returns the number of pages warmed.
     ///
     /// This is the run-time half of the compiler interface's section
     /// grants: a `Validate`/`Push` aggregate call warms the phase's
     /// sections so the phase body takes zero checks.
-    pub fn warm_tlb(&mut self, ranges: &[AddrRange], is_write: bool) -> usize {
+    pub fn warm_mappings(&mut self, warm: &[(AddrRange, bool)]) -> usize {
         let table = self.shared.lock_table();
-        let epoch = table.epoch();
-        let mut warmed = 0;
-        for range in ranges {
-            for page in range.pages() {
-                let Ok(frame) = table.frame(page) else { continue };
-                let protection = frame.lock().protection;
-                let allowed =
-                    if is_write { protection.allows_write() } else { protection.allows_read() };
-                if !allowed {
-                    continue;
-                }
-                self.tlb.insert(page, frame, epoch, protection.allows_write());
-                warmed += 1;
-            }
-        }
-        warmed
+        warm_ranges_locked(&mut self.tlb, &table, warm)
     }
 
     /// The fault handler: runs when a checked access finds the page in a
@@ -565,7 +887,10 @@ impl Process {
         };
         let mut flushed_pages = Vec::new();
         let mut delta_pages = 0usize;
-        let mut protect_ops = 0u64;
+        // One protection operation per contiguous run of dirty pages: the
+        // original system write-protects whole ranges with single mprotect
+        // calls, so the flush is charged per run, not per page.
+        let protect_ops = contiguous_runs(&dirty);
         for page in dirty {
             let entry = if proto.write_all_pages.contains(&page) {
                 Some(DiffEntry::FullPage)
@@ -586,9 +911,12 @@ impl Process {
             table.clear_dirty(page);
             table.drop_twin(page);
             table.set_protection(page, Protection::ReadOnly);
-            protect_ops += 1;
             if let Some(entry) = entry {
-                proto.diff_cache.insert((page, interval), CachedDiff { entry, rank });
+                proto
+                    .diff_cache
+                    .entry(page)
+                    .or_default()
+                    .insert(interval, CachedDiff { entry, rank });
                 flushed_pages.push(page);
             }
         }
@@ -607,47 +935,22 @@ impl Process {
         self.clock.advance(self.shared.cost.mprotect_cost(pages_in_use).scale(protect_ops));
     }
 
-    /// Records incoming write notices: appends them to the notice log, adds
-    /// the missing `(proc, interval)` diffs to the per-page missing lists
-    /// and invalidates the local copies. Duplicate notices are ignored.
-    fn record_notices(&mut self, notices: &[WriteNotice]) {
-        if notices.is_empty() {
-            return;
-        }
-        let mut proto = self.shared.proto.lock();
-        let mut table = self.shared.lock_table();
-        let me = proto.me;
-        let mut grouped: BTreeMap<(ProcId, Interval), Vec<PageId>> = BTreeMap::new();
-        for n in notices {
-            if n.proc == me {
-                continue;
-            }
-            grouped.entry((n.proc, n.interval)).or_default().push(n.page);
-        }
-        let mut recorded = 0u64;
-        let mut invalidations = 0u64;
-        let pages_in_use = table.pages_in_use();
-        for ((proc, interval), pages) in grouped {
-            if !proto.notice_log.record(proc, interval, pages.clone()) {
-                continue;
-            }
-            recorded += pages.len() as u64;
-            for page in pages {
-                proto.page_missing.entry(page).or_default().push((proc, interval));
-                match table.protection(page) {
-                    Protection::ReadOnly | Protection::ReadWrite => {
-                        table.set_protection(page, Protection::Invalid);
-                        invalidations += 1;
-                    }
-                    Protection::Unmapped | Protection::Invalid => {}
-                }
-            }
-        }
-        drop(table);
-        drop(proto);
-        self.shared.stats.write_notices(recorded);
-        self.shared.stats.protection_ops(invalidations);
-        self.clock.advance(self.shared.cost.mprotect_cost(pages_in_use).scale(invalidations));
+    /// Charges the costs of an [`apply_notices_locked`] tally after the
+    /// hold has been released.
+    fn charge_notices(&mut self, tally: &NoticeTally, pages_in_use: usize) {
+        self.shared.stats.write_notices(tally.recorded);
+        self.shared.stats.protection_ops(tally.invalidation_runs);
+        self.clock
+            .advance(self.shared.cost.mprotect_cost(pages_in_use).scale(tally.invalidation_runs));
+    }
+
+    /// Charges the costs of a [`prep_writes_locked`] tally after the hold
+    /// has been released.
+    fn charge_prep(&mut self, prep: &PrepTally, pages_in_use: usize) {
+        self.shared.stats.twins_created(prep.twinned);
+        self.clock.advance(self.shared.cost.twin_cost(prep.twinned as usize));
+        self.shared.stats.protection_ops(prep.protect_ranges);
+        self.clock.advance(self.shared.cost.mprotect_cost(pages_in_use).scale(prep.protect_ranges));
     }
 
     /// Builds the vector timestamp advertised by a `Validate_w_sync`
@@ -738,8 +1041,8 @@ impl Process {
     }
 
     /// Waits for the responses of a [`fetch_diffs`](Self::fetch_diffs),
-    /// applies the received diffs in timestamp order and revalidates the
-    /// fetched pages.
+    /// applies the received diffs in causal (rank) order and revalidates
+    /// the fetched pages — all under a single table-lock hold.
     pub fn apply_fetch(&mut self, handle: FetchHandle) {
         let mut records = Vec::new();
         for (_, req_id) in &handle.expected {
@@ -752,24 +1055,31 @@ impl Process {
                 records.extend(diffs);
             }
         }
-        self.apply_diff_records(records);
-        self.revalidate_pages(&handle.pages);
+        self.install_records(records, &handle.pages, &[], &[]);
     }
 
-    /// Applies diff records that are still listed as missing, removing the
-    /// satisfied entries. Records for diffs that are not missing (already
-    /// applied, or piggybacked more broadly than needed) are dropped, which
-    /// keeps re-delivery harmless.
-    fn apply_diff_records(&mut self, mut records: Vec<DiffRecord>) {
-        if records.is_empty() {
-            return;
-        }
+    /// The single-hold installation step shared by every path that applies
+    /// diffs: rank-sorts the whole batch (across *all* messages of the
+    /// synchronization point, so causally ordered same-page diffs apply in
+    /// happens-before order no matter how they were delivered), drops
+    /// records that are no longer missing (re-delivery is harmless),
+    /// applies the survivors through the page table's batch entry point,
+    /// revalidates `pages`, finishes deferred write preparation and warms
+    /// the TLB — one global-lock acquisition for the entire step. Returns
+    /// the number of pages warmed.
+    fn install_records(
+        &mut self,
+        mut records: Vec<DiffRecord>,
+        pages: &[PageId],
+        deferred: &[DeferredWrite],
+        warm: &[(AddrRange, bool)],
+    ) -> usize {
         records.sort_by_key(|r| (r.page, r.rank, r.proc, r.interval));
         let mut proto = self.shared.proto.lock();
         let mut table = self.shared.lock_table();
-        let mut applied = 0u64;
-        let mut full_pages = 0u64;
-        let mut apply_bytes = 0usize;
+        // Keep only records still on a page's missing list (claiming the
+        // entry), preserving the rank-sorted order.
+        let mut applicable = Vec::with_capacity(records.len());
         for record in records {
             let Some(missing) = proto.page_missing.get_mut(&record.page) else { continue };
             let Some(pos) =
@@ -781,28 +1091,24 @@ impl Process {
             if missing.is_empty() {
                 proto.page_missing.remove(&record.page);
             }
-            table.apply_diff(record.page, &record.diff).expect("page-sized diff always applies");
-            applied += 1;
-            apply_bytes += record.diff.encoded_bytes();
-            if record.diff.modified_bytes() == PAGE_SIZE {
-                full_pages += 1;
-            }
+            applicable.push(record);
         }
-        drop(table);
-        drop(proto);
-        self.shared.stats.diffs_applied(applied);
-        self.shared.stats.full_page_fetches(full_pages);
-        self.clock.advance(self.shared.cost.diff_apply_cost(apply_bytes));
-    }
-
-    /// Restores a consistent protection state on `pages` after their
-    /// missing diffs were applied: pages with nothing missing become
-    /// readable (writable again if mid-interval modifications exist);
-    /// pages still missing diffs stay invalid.
-    fn revalidate_pages(&mut self, pages: &[PageId]) {
-        let proto = self.shared.proto.lock();
-        let mut table = self.shared.lock_table();
-        for &page in pages {
+        let applied = applicable.len() as u64;
+        let apply_bytes: usize = applicable.iter().map(|r| r.diff.encoded_bytes()).sum();
+        let full_pages =
+            applicable.iter().filter(|r| r.diff.modified_bytes() == PAGE_SIZE).count() as u64;
+        table
+            .apply_diff_batch(applicable.iter().map(|r| (r.page, &r.diff)))
+            .expect("page-sized diff always applies");
+        // Revalidate every requested page plus every page a record touched:
+        // pages with nothing missing become readable (writable again if
+        // mid-interval modifications exist); pages still missing diffs stay
+        // invalid; untouched pages materialise zero-filled.
+        let mut revalidate: Vec<PageId> = pages.to_vec();
+        revalidate.extend(applicable.iter().map(|r| r.page));
+        revalidate.sort_unstable();
+        revalidate.dedup();
+        for &page in &revalidate {
             if proto.page_missing.contains_key(&page) {
                 // `apply_diff` may have freshly mapped the frame read-write;
                 // the page is not consistent yet, so make that explicit.
@@ -822,29 +1128,152 @@ impl Process {
                 _ => table.set_protection(page, target),
             }
         }
+        // Finish the write preparation that was deferred at issue time.
+        let mut deferred_twins = 0u64;
+        let mut deferred_pages = Vec::new();
+        for d in deferred {
+            if proto.page_missing.contains_key(&d.page) {
+                // Still not consistent (a producer outside this sync point);
+                // leave it to the ordinary fault path.
+                continue;
+            }
+            deferred_twins +=
+                u64::from(enable_written_page(&mut proto, &mut table, d.page, d.write_all));
+            deferred_pages.push(d.page);
+        }
+        deferred_pages.sort_unstable();
+        let deferred_runs = contiguous_runs(&deferred_pages);
+        let warmed = warm_ranges_locked(&mut self.tlb, &table, warm);
+        let pages_in_use = table.pages_in_use();
+        drop(table);
+        drop(proto);
+        self.shared.stats.diffs_applied(applied);
+        self.shared.stats.full_page_fetches(full_pages);
+        self.clock.advance(self.shared.cost.diff_apply_cost(apply_bytes));
+        self.shared.stats.twins_created(deferred_twins);
+        self.clock.advance(self.shared.cost.twin_cost(deferred_twins as usize));
+        self.shared.stats.protection_ops(deferred_runs);
+        self.clock.advance(self.shared.cost.mprotect_cost(pages_in_use).scale(deferred_runs));
+        warmed
     }
 
+    // ------------------------------------------------------------------
+    // Split-phase synchronization (the run-time half of Validate_w_sync)
+    // ------------------------------------------------------------------
+
     /// Merges an aggregated fetch of `ranges` with a synchronization
-    /// operation (the run-time half of `Validate_w_sync`).
+    /// operation (the blocking form of `Validate_w_sync`): issue and
+    /// complete back to back.
     ///
     /// For [`SyncOp::Lock`], the page list rides on the acquire request and
     /// the last releaser piggybacks its diffs on the grant; diffs owned by
-    /// third processors are fetched afterwards in aggregated messages. For
-    /// [`SyncOp::Barrier`], the request rides on the barrier arrival, is
-    /// redistributed with the departure, and every producer answers with at
-    /// most one aggregated `SyncDiffs` message.
+    /// third processors are fetched in aggregated messages, and the whole
+    /// batch — piggyback plus third-party responses — is applied in one
+    /// rank-sorted pass. For [`SyncOp::Barrier`], the request rides on the
+    /// barrier arrival, is redistributed with the departure, and every
+    /// producer answers with at most one aggregated `SyncDiffs` message.
     pub fn fetch_diffs_w_sync(&mut self, sync: SyncOp, ranges: &[AddrRange]) {
-        let mut pages: Vec<PageId> = ranges.iter().flat_map(AddrRange::pages).collect();
-        pages.sort_unstable();
-        pages.dedup();
+        let pending = self.sync_phase_issue(sync, &PhasePlan::fetch_only(ranges));
+        self.sync_phase_complete(pending);
+    }
+
+    /// The issue half of a split-phase `Validate_w_sync`: performs the
+    /// synchronization operation with the plan's page list piggybacked,
+    /// sends every diff request, prepares and warms the pages that are
+    /// already consistent, and returns without waiting for the data.
+    ///
+    /// All per-synchronization protocol work on this side — write-notice
+    /// application, serving the other processors' piggybacked requests,
+    /// write preparation and TLB warming — happens under a **single**
+    /// page-table-lock hold.
+    ///
+    /// The caller may run computation that does not touch the still-missing
+    /// pages before calling [`sync_phase_complete`](Self::sync_phase_complete),
+    /// overlapping the fetch latency. Touching a pending page early is safe
+    /// (it faults and fetches redundantly) — a pending handle never exposes
+    /// stale data.
+    pub fn sync_phase_issue(&mut self, sync: SyncOp, plan: &PhasePlan) -> PendingSync {
         match sync {
-            SyncOp::Barrier => self.barrier_sync(&pages),
-            SyncOp::Lock(lock) => self.lock_acquire_sync(lock, &pages),
+            SyncOp::Barrier => self.barrier_issue(plan),
+            SyncOp::Lock(lock) => self.lock_issue(lock, plan),
         }
-        // Anything the synchronization partner did not hold (third-party
-        // writers after a lock acquire) is fetched in aggregated messages.
-        let handle = self.fetch_diffs(ranges);
-        self.apply_fetch(handle);
+    }
+
+    /// The completion half of a split-phase `Validate_w_sync`: waits for
+    /// every outstanding response, applies the whole batch in causal (rank)
+    /// order, finishes deferred write preparation and re-warms the TLB —
+    /// again under a single page-table-lock hold. Returns the number of
+    /// pages warmed.
+    pub fn sync_phase_complete(&mut self, pending: PendingSync) -> usize {
+        let PendingSync { pages, seq, mut responders, piggyback, fetch_expected, deferred, warm } =
+            pending;
+        if pages.is_empty()
+            && responders.is_empty()
+            && piggyback.is_empty()
+            && fetch_expected.is_empty()
+            && deferred.is_empty()
+            && warm.is_empty()
+        {
+            return 0;
+        }
+        let before = self.clock.now();
+        let mut records = piggyback;
+        for (_, req_id) in &fetch_expected {
+            let want = *req_id;
+            let env = self.recv_reply(
+                |m| matches!(m, TmkMessage::DiffResponse { req_id, .. } if *req_id == want),
+            );
+            self.clock.observe(env.arrives_at);
+            if let TmkMessage::DiffResponse { diffs, .. } = env.payload {
+                records.extend(diffs);
+            }
+        }
+        // Observe every response before applying anything (see
+        // `barrier_issue` for why observe-all-then-advance is what keeps
+        // virtual time independent of thread scheduling). Responses are
+        // accepted only at this barrier's ordinal; older ones — responses
+        // to a handle the caller dropped instead of completing — are
+        // consumed and discarded here so they can never be mistaken for
+        // (or park behind) this barrier's data.
+        while !responders.is_empty() {
+            let env = self.recv_reply(|m| {
+                matches!(m, TmkMessage::SyncDiffs { from, seq: got, .. }
+                    if *got <= seq && responders.contains(from))
+            });
+            self.clock.observe(env.arrives_at);
+            let TmkMessage::SyncDiffs { from, seq: got, diffs } = env.payload else {
+                unreachable!()
+            };
+            if got < seq {
+                continue;
+            }
+            responders.remove(&from);
+            records.extend(diffs);
+        }
+        // How long the completion actually stalled: with computation between
+        // issue and complete, the responses have already arrived and this
+        // approaches zero — the split-phase overlap, made measurable.
+        let waited = self.clock.now().saturating_sub(before);
+        self.shared.stats.sync_wait_ns(waited.as_nanos());
+        self.install_records(records, &pages, &deferred, &warm)
+    }
+
+    /// Batch write preparation and TLB warming for a phase whose data is
+    /// already consistent (the run-time half of a plain `Validate` after
+    /// its fetch, and of the producer side of a push loop) — one table-lock
+    /// hold for the whole phase. Returns the number of pages warmed.
+    pub fn prepare_phase(&mut self, plan: &PhasePlan) -> usize {
+        let mut deferred = Vec::new();
+        let (prep, warmed, pages_in_use) = {
+            let mut proto = self.shared.proto.lock();
+            let mut table = self.shared.lock_table();
+            let prep = prep_writes_locked(&mut proto, &mut table, plan, false, &mut deferred);
+            let warmed = warm_ranges_locked(&mut self.tlb, &table, &plan.warm);
+            (prep, warmed, table.pages_in_use())
+        };
+        debug_assert!(deferred.is_empty(), "immediate preparation never defers");
+        self.charge_prep(&prep, pages_in_use);
+        warmed
     }
 
     // ------------------------------------------------------------------
@@ -944,10 +1373,13 @@ impl Process {
     /// directly to their consumer, and one `PushData` message is awaited
     /// from every processor in `recv_from`. Received bytes are installed in
     /// place — no twins, diffs, write notices or invalidations — and the
-    /// protection epoch is bumped (the install replaces contents wholesale,
-    /// so cached mappings must revalidate). Returns the ranges installed by
-    /// the received pushes, coalesced, so callers can re-warm the TLB for
-    /// the data the phase is about to consume.
+    /// protection epoch is bumped once (the install replaces contents
+    /// wholesale, so cached mappings must revalidate).
+    ///
+    /// The exchange is batched like the barrier protocol: *one* table-lock
+    /// hold reads every outgoing chunk, and after all pushes have arrived
+    /// *one* hold installs everything and re-warms the TLB for the received
+    /// ranges, whose coalesced extent the [`PushReceipt`] reports.
     ///
     /// # Panics
     ///
@@ -957,24 +1389,36 @@ impl Process {
         &mut self,
         sends: &[(ProcId, Vec<AddrRange>)],
         recv_from: &[ProcId],
-    ) -> Vec<AddrRange> {
+    ) -> PushReceipt {
         let me = self.proc_id();
-        for &(dest, ref ranges) in sends {
-            assert_ne!(dest, me, "a processor does not push to itself");
-            let chunks: Vec<(AddrRange, Vec<u8>)> = {
+        if !sends.is_empty() {
+            // One hold for every outgoing chunk read.
+            type Outgoing = Vec<(ProcId, Vec<(AddrRange, Vec<u8>)>)>;
+            let outgoing: Outgoing = {
                 let table = self.shared.lock_table();
-                AddrRange::coalesce(ranges.clone())
-                    .into_iter()
-                    .map(|r| (r, table.read_range(r)))
+                sends
+                    .iter()
+                    .map(|&(dest, ref ranges)| {
+                        assert_ne!(dest, me, "a processor does not push to itself");
+                        let chunks = AddrRange::coalesce(ranges.clone())
+                            .into_iter()
+                            .map(|r| (r, table.read_range(r)))
+                            .collect();
+                        (dest, chunks)
+                    })
                     .collect()
             };
-            let msg = TmkMessage::PushData { from: me, chunks };
-            let bytes = msg.wire_bytes();
-            self.endpoint.send(NodeId(dest), Port::Reply, msg, bytes, self.clock.now(), true);
+            for (dest, chunks) in outgoing {
+                let msg = TmkMessage::PushData { from: me, chunks };
+                let bytes = msg.wire_bytes();
+                self.endpoint.send(NodeId(dest), Port::Reply, msg, bytes, self.clock.now(), true);
+            }
         }
         let mut outstanding: HashSet<ProcId> = recv_from.iter().copied().collect();
         assert!(!outstanding.contains(&me), "a processor does not receive its own push");
-        let mut installed = Vec::new();
+        // Observe every push before installing anything, then install the
+        // whole batch under one hold.
+        let mut received: Vec<(AddrRange, Vec<u8>)> = Vec::new();
         while !outstanding.is_empty() {
             let env = self.recv_reply(
                 |m| matches!(m, TmkMessage::PushData { from, .. } if outstanding.contains(from)),
@@ -982,19 +1426,22 @@ impl Process {
             self.clock.observe(env.arrives_at);
             let TmkMessage::PushData { from, chunks } = env.payload else { unreachable!() };
             outstanding.remove(&from);
+            received.extend(chunks);
+        }
+        if received.is_empty() {
+            return PushReceipt { installed: Vec::new(), pages_warmed: 0 };
+        }
+        let installed = AddrRange::coalesce(received.iter().map(|(r, _)| *r).collect());
+        let warm: Vec<(AddrRange, bool)> = installed.iter().map(|&r| (r, false)).collect();
+        let pages_warmed = {
             let mut table = self.shared.lock_table();
-            for (range, data) in chunks {
+            for (range, data) in received {
                 table.write_bytes(range.start(), &data);
-                for page in range.pages() {
-                    if table.protection(page) == Protection::Unmapped {
-                        table.set_protection(page, Protection::ReadOnly);
-                    }
-                }
-                installed.push(range);
             }
             table.bump_epoch();
-        }
-        AddrRange::coalesce(installed)
+            warm_ranges_locked(&mut self.tlb, &table, &warm)
+        };
+        PushReceipt { installed, pages_warmed }
     }
 
     // ------------------------------------------------------------------
@@ -1008,10 +1455,19 @@ impl Process {
     ///
     /// Panics if this processor already holds the lock.
     pub fn lock_acquire(&mut self, lock: LockId) {
-        self.lock_acquire_sync(lock, &[]);
+        let pending = self.lock_issue(lock, &PhasePlan::default());
+        self.sync_phase_complete(pending);
     }
 
-    fn lock_acquire_sync(&mut self, lock: LockId, sync_pages: &[PageId]) {
+    /// Lock side of [`sync_phase_issue`](Self::sync_phase_issue): the plan's
+    /// page list rides on the acquire request, the grant's piggybacked diffs
+    /// are kept in hand (not yet applied), and one aggregated request per
+    /// third-party producer goes out for whatever the releaser did not hold.
+    /// Everything is applied together, rank-sorted, at the completion.
+    fn lock_issue(&mut self, lock: LockId, plan: &PhasePlan) -> PendingSync {
+        let mut pages: Vec<PageId> = plan.fetch.iter().flat_map(AddrRange::pages).collect();
+        pages.sort_unstable();
+        pages.dedup();
         self.shared.stats.lock_acquires(1);
         let me = self.proc_id();
         let (manager, request_vt) = {
@@ -1023,14 +1479,14 @@ impl Process {
             // grant has been consumed.
             proto.pending_acquires.insert(lock);
             *proto.lock_requests_sent.entry(lock).or_insert(0) += 1;
-            (crate::state::ProtoState::lock_manager(lock, proto.nprocs), proto.vt.clone())
+            (ProtoState::lock_manager(lock, proto.nprocs), proto.vt.clone())
         };
-        let request_vt = if sync_pages.is_empty() { request_vt } else { self.sync_vt(sync_pages) };
+        let request_vt = if pages.is_empty() { request_vt } else { self.sync_vt(&pages) };
         let msg = TmkMessage::LockAcquireRequest {
             lock,
             requester: me,
             vt: request_vt,
-            sync_pages: sync_pages.to_vec(),
+            sync_pages: pages.clone(),
         };
         let bytes = msg.wire_bytes();
         self.endpoint.send(NodeId(manager), Port::Request, msg, bytes, self.clock.now(), true);
@@ -1040,16 +1496,61 @@ impl Process {
         let TmkMessage::LockGrant { granter_vt, notices, piggyback, .. } = env.payload else {
             unreachable!()
         };
-        self.record_notices(&notices);
-        {
+        // One lock hold for the entire acquire-side protocol step.
+        let mut deferred = Vec::new();
+        let (tally, prep, wants, pages_in_use) = {
             let mut proto = self.shared.proto.lock();
+            let mut table = self.shared.lock_table();
+            let tally = apply_notices_locked(&mut proto, &mut table, &notices);
             proto.vt.merge(&granter_vt);
             proto.pending_acquires.remove(&lock);
             proto.held_locks.insert(lock);
+            // Third-party fetch: everything still missing for the requested
+            // pages that the grant's piggyback does not already carry.
+            let in_hand: HashSet<(PageId, ProcId, Interval)> =
+                piggyback.iter().map(|r| (r.page, r.proc, r.interval)).collect();
+            let mut wants: BTreeMap<ProcId, Vec<(PageId, Vec<Interval>)>> = BTreeMap::new();
+            for &page in &pages {
+                let Some(missing) = proto.page_missing.get(&page) else { continue };
+                let mut by_proc: BTreeMap<ProcId, Vec<Interval>> = BTreeMap::new();
+                for &(proc, interval) in missing {
+                    if in_hand.contains(&(page, proc, interval)) {
+                        continue;
+                    }
+                    by_proc.entry(proc).or_default().push(interval);
+                }
+                for (proc, mut intervals) in by_proc {
+                    intervals.sort_unstable();
+                    wants.entry(proc).or_default().push((page, intervals));
+                }
+            }
+            let prep = prep_writes_locked(&mut proto, &mut table, plan, true, &mut deferred);
+            // Warm what is already consistent so the overlapped computation
+            // between issue and complete runs lock-free.
+            warm_ranges_locked(&mut self.tlb, &table, &plan.warm);
+            (tally, prep, wants, table.pages_in_use())
+        };
+        self.charge_notices(&tally, pages_in_use);
+        self.charge_prep(&prep, pages_in_use);
+        let mut fetch_expected = Vec::with_capacity(wants.len());
+        for (proc, want) in wants {
+            debug_assert_ne!(proc, me, "a processor never misses its own diffs");
+            let req_id = self.next_req_id;
+            self.next_req_id += 1;
+            let msg = TmkMessage::DiffRequest { req_id, requester: me, wants: want };
+            let bytes = msg.wire_bytes();
+            self.endpoint.send(NodeId(proc), Port::Request, msg, bytes, self.clock.now(), true);
+            fetch_expected.push((proc, req_id));
         }
-        let pages: Vec<PageId> = piggyback.iter().map(|r| r.page).collect();
-        self.apply_diff_records(piggyback);
-        self.revalidate_pages(&pages);
+        PendingSync {
+            pages,
+            seq: self.barrier_seq,
+            responders: HashSet::new(),
+            piggyback,
+            fetch_expected,
+            deferred,
+            warm: plan.warm.clone(),
+        }
     }
 
     /// Releases `lock`, ending the current interval and granting the lock
@@ -1088,177 +1589,183 @@ impl Process {
     /// through the barrier master (processor 0) and leaves every processor
     /// with the merged global vector timestamp.
     pub fn barrier(&mut self) {
-        self.barrier_sync(&[]);
+        let pending = self.barrier_issue(&PhasePlan::default());
+        self.sync_phase_complete(pending);
     }
 
-    fn barrier_sync(&mut self, sync_pages: &[PageId]) {
+    /// Barrier side of [`sync_phase_issue`](Self::sync_phase_issue):
+    /// flushes the interval, crosses the barrier with the plan's page list
+    /// piggybacked on the arrival, and then performs the *entire*
+    /// post-departure protocol step — write-notice application, serving
+    /// every other processor's piggybacked request, write preparation and
+    /// TLB warming — under a single page-table-lock hold before returning
+    /// with the pending handle.
+    fn barrier_issue(&mut self, plan: &PhasePlan) -> PendingSync {
         self.flush_interval();
         self.shared.stats.barriers(1);
+        self.barrier_seq += 1;
+        let seq = self.barrier_seq;
+        let mut pages: Vec<PageId> = plan.fetch.iter().flat_map(AddrRange::pages).collect();
+        pages.sort_unstable();
+        pages.dedup();
         let n = self.nprocs();
-        if n == 1 {
-            self.clock.advance(self.shared.cost.barrier_local_cost());
-            return;
-        }
         let me = self.proc_id();
-        let my_request = if sync_pages.is_empty() {
+        let mut deferred = Vec::new();
+        if n == 1 {
+            // No peers, nothing to exchange: prepare and warm locally (one
+            // hold) unless the plan is trivial.
+            if !plan.is_empty() {
+                let (prep, pages_in_use) = {
+                    let mut proto = self.shared.proto.lock();
+                    let mut table = self.shared.lock_table();
+                    let prep =
+                        prep_writes_locked(&mut proto, &mut table, plan, true, &mut deferred);
+                    warm_ranges_locked(&mut self.tlb, &table, &plan.warm);
+                    (prep, table.pages_in_use())
+                };
+                self.charge_prep(&prep, pages_in_use);
+            }
+            self.clock.advance(self.shared.cost.barrier_local_cost());
+            return PendingSync {
+                pages,
+                seq,
+                responders: HashSet::new(),
+                piggyback: Vec::new(),
+                fetch_expected: Vec::new(),
+                deferred,
+                warm: plan.warm.clone(),
+            };
+        }
+        let my_request = if pages.is_empty() {
             None
         } else {
-            Some(SyncFetchRequest {
-                proc: me,
-                vt: self.sync_vt(sync_pages),
-                pages: sync_pages.to_vec(),
-            })
+            Some(SyncFetchRequest { proc: me, vt: self.sync_vt(&pages), pages: pages.clone() })
         };
         let my_sync_vt = my_request.as_ref().map(|r| r.vt.clone());
-        let requests = if me == MASTER {
-            self.barrier_master(my_request)
-        } else {
-            self.barrier_client(my_request)
-        };
-        self.serve_sync_requests(&requests);
-        if let Some(vt) = my_sync_vt {
-            self.collect_sync_diffs(sync_pages, &vt);
-        }
-        self.clock.advance(self.shared.cost.barrier_local_cost());
-    }
 
-    /// Master side of the barrier: collect every arrival, merge timestamps
-    /// and notices, and send each client a departure with exactly the
-    /// notices it misses plus all piggybacked fetch requests.
-    fn barrier_master(&mut self, my_request: Option<SyncFetchRequest>) -> Vec<SyncFetchRequest> {
-        let n = self.nprocs();
-        let mut sync_requests: Vec<SyncFetchRequest> = my_request.into_iter().collect();
-        let mut arrivals: Vec<(ProcId, Vt)> = Vec::with_capacity(n - 1);
-        // Collect (and observe) every arrival before charging any
-        // processing cost: observation is a max and processing an addition,
-        // and only observe-all-then-advance is independent of the real
-        // thread-scheduling order the arrivals happen to come in.
-        let mut all_notices = Vec::new();
-        for _ in 1..n {
-            let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierArrival { .. }));
+        // --- Exchange: arrivals to the master, departures back. ---
+        let (all_notices, sync_requests, departures_vt) = if me == MASTER {
+            let mut sync_requests: Vec<SyncFetchRequest> = my_request.into_iter().collect();
+            let mut arrivals: Vec<(ProcId, Vt)> = Vec::with_capacity(n - 1);
+            // Collect (and observe) every arrival before charging any
+            // processing cost: observation is a max and processing an
+            // addition, and only observe-all-then-advance is independent of
+            // the real thread-scheduling order the arrivals come in.
+            let mut all_notices = Vec::new();
+            for _ in 1..n {
+                let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierArrival { .. }));
+                self.clock.observe(env.arrives_at);
+                let TmkMessage::BarrierArrival { proc, vt, notices, sync_request } = env.payload
+                else {
+                    unreachable!()
+                };
+                all_notices.extend(notices);
+                self.shared.proto.lock().vt.merge(&vt);
+                if let Some(req) = sync_request {
+                    sync_requests.push(req);
+                }
+                arrivals.push((proc, vt));
+            }
+            arrivals.sort_by_key(|&(proc, _)| proc);
+            // Serve and redistribute the piggybacked requests in processor
+            // order, not arrival order: every processor then answers them
+            // at deterministic virtual times, keeping runs reproducible.
+            sync_requests.sort_by_key(|r| r.proc);
+            self.clock.advance(self.shared.cost.barrier_master_cost(n));
+            (all_notices, sync_requests, Some(arrivals))
+        } else {
+            let (vt, notices) = {
+                let proto = self.shared.proto.lock();
+                (proto.vt.clone(), proto.notice_log.notices_after(&proto.last_global_vt))
+            };
+            let msg =
+                TmkMessage::BarrierArrival { proc: me, vt, notices, sync_request: my_request };
+            let bytes = msg.wire_bytes();
+            self.endpoint.send(NodeId(MASTER), Port::Reply, msg, bytes, self.clock.now(), true);
+            let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierDeparture { .. }));
             self.clock.observe(env.arrives_at);
-            let TmkMessage::BarrierArrival { proc, vt, notices, sync_request } = env.payload else {
+            let TmkMessage::BarrierDeparture { global_vt, notices, sync_requests } = env.payload
+            else {
                 unreachable!()
             };
-            all_notices.extend(notices);
-            self.shared.proto.lock().vt.merge(&vt);
-            if let Some(req) = sync_request {
-                sync_requests.push(req);
+            {
+                let mut proto = self.shared.proto.lock();
+                proto.vt.merge(&global_vt);
+                proto.last_global_vt = global_vt;
             }
-            arrivals.push((proc, vt));
-        }
-        self.record_notices(&all_notices);
-        arrivals.sort_by_key(|&(proc, _)| proc);
-        self.clock.advance(self.shared.cost.barrier_master_cost(n));
-        // Serve and redistribute the piggybacked requests in processor
-        // order, not arrival order: every processor then answers them at
-        // deterministic virtual times, keeping whole runs reproducible.
-        sync_requests.sort_by_key(|r| r.proc);
-        let departures: Vec<(ProcId, TmkMessage)> = {
-            let mut proto = self.shared.proto.lock();
-            let global_vt = proto.vt.clone();
-            proto.last_global_vt = global_vt.clone();
-            arrivals
-                .into_iter()
-                .map(|(proc, vt)| {
-                    let msg = TmkMessage::BarrierDeparture {
-                        global_vt: global_vt.clone(),
-                        notices: proto.notice_log.notices_after(&vt),
-                        sync_requests: sync_requests.clone(),
-                    };
-                    (proc, msg)
-                })
-                .collect()
+            (notices, sync_requests, None)
         };
+
+        // --- One lock hold for the whole post-exchange protocol step. ---
+        let (tally, prep, departures, serve, scanned, materialised, responders, pages_in_use) = {
+            let mut proto = self.shared.proto.lock();
+            let mut table = self.shared.lock_table();
+            let tally = apply_notices_locked(&mut proto, &mut table, &all_notices);
+            // Master only: build each client's departure against the now
+            // complete notice log.
+            let departures: Vec<(ProcId, TmkMessage)> = match &departures_vt {
+                Some(arrivals) => {
+                    let global_vt = proto.vt.clone();
+                    proto.last_global_vt = global_vt.clone();
+                    arrivals
+                        .iter()
+                        .map(|(proc, vt)| {
+                            let msg = TmkMessage::BarrierDeparture {
+                                global_vt: global_vt.clone(),
+                                notices: proto.notice_log.notices_after(vt),
+                                sync_requests: sync_requests.clone(),
+                            };
+                            (*proc, msg)
+                        })
+                        .collect()
+                }
+                None => Vec::new(),
+            };
+            let (serve, scanned, materialised) =
+                serve_requests_locked(&proto, &table, &sync_requests, me);
+            let responders = match &my_sync_vt {
+                Some(vt) => responders_locked(&proto, &pages, vt),
+                None => HashSet::new(),
+            };
+            let prep = prep_writes_locked(&mut proto, &mut table, plan, true, &mut deferred);
+            warm_ranges_locked(&mut self.tlb, &table, &plan.warm);
+            (
+                tally,
+                prep,
+                departures,
+                serve,
+                scanned,
+                materialised,
+                responders,
+                table.pages_in_use(),
+            )
+        };
+        self.charge_notices(&tally, pages_in_use);
         for (proc, msg) in departures {
             let bytes = msg.wire_bytes();
             self.endpoint.send(NodeId(proc), Port::Reply, msg, bytes, self.clock.now(), true);
         }
-        sync_requests
-    }
-
-    /// Client side of the barrier: announce the flushed interval to the
-    /// master and apply the departure.
-    fn barrier_client(&mut self, my_request: Option<SyncFetchRequest>) -> Vec<SyncFetchRequest> {
-        let me = self.proc_id();
-        let (vt, notices) = {
-            let proto = self.shared.proto.lock();
-            (proto.vt.clone(), proto.notice_log.notices_after(&proto.last_global_vt))
-        };
-        let msg = TmkMessage::BarrierArrival { proc: me, vt, notices, sync_request: my_request };
-        let bytes = msg.wire_bytes();
-        self.endpoint.send(NodeId(MASTER), Port::Reply, msg, bytes, self.clock.now(), true);
-        let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierDeparture { .. }));
-        self.clock.observe(env.arrives_at);
-        let TmkMessage::BarrierDeparture { global_vt, notices, sync_requests } = env.payload else {
-            unreachable!()
-        };
-        self.record_notices(&notices);
-        {
-            let mut proto = self.shared.proto.lock();
-            proto.vt.merge(&global_vt);
-            proto.last_global_vt = global_vt;
-        }
-        sync_requests
-    }
-
-    /// Answers the piggybacked fetch requests of other processors: the
-    /// diffs this node created for the requested pages, newer than the
-    /// requester's advertised timestamp, in one aggregated message.
-    fn serve_sync_requests(&mut self, requests: &[SyncFetchRequest]) {
-        let me = self.proc_id();
-        for req in requests {
-            if req.proc == me {
-                continue;
-            }
-            self.clock.advance(self.shared.cost.sync_merge_scan_cost(req.pages.len()));
-            let records = {
-                let proto = self.shared.proto.lock();
-                let table = self.shared.lock_table();
-                proto.diffs_for_pages_after(&req.pages, &req.vt, &table)
-            };
-            if records.is_empty() {
-                continue;
-            }
-            let msg = TmkMessage::SyncDiffs { from: me, diffs: records };
+        self.charge_prep(&prep, pages_in_use);
+        // One pass over the diff cache answers every request of the
+        // synchronization point: the scan is charged for the union of the
+        // requested pages, materialised full pages for their encoding.
+        self.clock.advance(self.shared.cost.sync_merge_scan_cost(scanned));
+        self.clock.advance(self.shared.cost.diff_create_cost(materialised));
+        for (proc, records) in serve {
+            let msg = TmkMessage::SyncDiffs { from: me, seq, diffs: records };
             let bytes = msg.wire_bytes();
-            self.endpoint.send(NodeId(req.proc), Port::Reply, msg, bytes, self.clock.now(), true);
+            self.endpoint.send(NodeId(proc), Port::Reply, msg, bytes, self.clock.now(), true);
         }
-    }
-
-    /// Waits for the `SyncDiffs` messages answering this processor's own
-    /// piggybacked request and installs them. The expected responders are
-    /// derived from the (post-barrier, complete) notice log: every other
-    /// processor with a recorded modification of a requested page above the
-    /// advertised timestamp will send exactly one message.
-    fn collect_sync_diffs(&mut self, pages: &[PageId], sync_vt: &Vt) {
-        let me = self.proc_id();
-        let page_set: HashSet<PageId> = pages.iter().copied().collect();
-        let mut outstanding: HashSet<ProcId> = {
-            let proto = self.shared.proto.lock();
-            proto
-                .notice_log
-                .notices_after(sync_vt)
-                .into_iter()
-                .filter(|n| n.proc != me && page_set.contains(&n.page))
-                .map(|n| n.proc)
-                .collect()
-        };
-        // Observe every response before applying anything (see
-        // `barrier_master` for why observe-all-then-advance is what keeps
-        // virtual time independent of thread scheduling).
-        let mut records = Vec::new();
-        while !outstanding.is_empty() {
-            let env = self.recv_reply(
-                |m| matches!(m, TmkMessage::SyncDiffs { from, .. } if outstanding.contains(from)),
-            );
-            self.clock.observe(env.arrives_at);
-            let TmkMessage::SyncDiffs { from, diffs } = env.payload else { unreachable!() };
-            outstanding.remove(&from);
-            records.extend(diffs);
+        self.clock.advance(self.shared.cost.barrier_local_cost());
+        PendingSync {
+            pages,
+            seq,
+            responders,
+            piggyback: Vec::new(),
+            fetch_expected: Vec::new(),
+            deferred,
+            warm: plan.warm.clone(),
         }
-        self.apply_diff_records(records);
-        self.revalidate_pages(pages);
     }
 }
 

@@ -78,7 +78,9 @@ fn handle_diff_request(
     let mut materialised_pages = 0;
     for (page, intervals) in wants {
         for &interval in intervals {
-            let (diff, rank) = match proto.diff_cache.get(&(*page, interval)) {
+            let cached =
+                proto.diff_cache.get(page).and_then(|by_interval| by_interval.get(&interval));
+            let (diff, rank) = match cached {
                 Some(CachedDiff { entry: DiffEntry::Delta(diff), rank }) => (diff.clone(), *rank),
                 Some(CachedDiff { entry: DiffEntry::FullPage, rank }) => {
                     materialised_pages += 1;

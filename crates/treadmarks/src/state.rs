@@ -7,7 +7,7 @@
 //! server handler never blocks on a remote operation, which is what keeps the
 //! system deadlock-free.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use dsm_core::sync::Mutex;
 use pagedmem::{Diff, PageId, PageTable};
@@ -63,8 +63,14 @@ pub(crate) struct ProtoState {
     /// Per page, the write notices whose diffs have not yet been applied
     /// locally.
     pub page_missing: HashMap<PageId, Vec<(ProcId, Interval)>>,
-    /// Diffs this node created, by page and interval.
-    pub diff_cache: HashMap<(PageId, Interval), CachedDiff>,
+    /// Diffs this node created, indexed per page (intervals in order).
+    ///
+    /// The per-page index is what makes batched serving cheap: answering a
+    /// synchronization point's piggybacked requests probes each requested
+    /// page once instead of examining every cached interval per page, so
+    /// the merge-scan cost is charged only for pages this node actually
+    /// modified (see `diffs_for_pages_after_counted`).
+    pub diff_cache: HashMap<PageId, BTreeMap<Interval, CachedDiff>>,
     /// Pages of the current interval written under `WRITE_ALL` (no twin).
     pub write_all_pages: HashSet<PageId>,
     /// The global vector timestamp distributed at the last barrier departure.
@@ -127,29 +133,46 @@ impl ProtoState {
         vt: &Vt,
         table: &PageTable,
     ) -> Vec<DiffRecord> {
+        let (records, _, _) = self.diffs_for_pages_after_counted(pages, vt, table);
+        records
+    }
+
+    /// Like [`diffs_for_pages_after`](Self::diffs_for_pages_after), but also
+    /// reports how many whole pages had to be materialised from the current
+    /// copy (`WRITE_ALL` intervals keep no delta, so the encoding cost is
+    /// charged lazily — at request time, and only for pages actually
+    /// requested) and how many requested pages this node had cached diffs
+    /// for at all. The latter is the batched serve's real examination
+    /// count: the per-page index answers a non-owned page with one probe,
+    /// so only owned pages cost a range scan.
+    pub(crate) fn diffs_for_pages_after_counted(
+        &self,
+        pages: &[PageId],
+        vt: &Vt,
+        table: &PageTable,
+    ) -> (Vec<DiffRecord>, usize, Vec<PageId>) {
         let seen = vt.get(self.me);
         let mut out = Vec::new();
+        let mut materialised = 0usize;
+        let mut examined = Vec::new();
         for &page in pages {
             // Intervals this node created for the page and the requester has
             // not yet incorporated.
-            for ((p, interval), cached) in
-                self.diff_cache.iter().filter(|((p, i), _)| *p == page && *i > seen)
-            {
+            let Some(intervals) = self.diff_cache.get(&page) else { continue };
+            examined.push(page);
+            for (&interval, cached) in intervals.range(seen + 1..) {
                 let diff = match &cached.entry {
                     DiffEntry::Delta(diff) => diff.clone(),
-                    DiffEntry::FullPage => full_page_diff(table, *p),
+                    DiffEntry::FullPage => {
+                        materialised += 1;
+                        full_page_diff(table, page)
+                    }
                 };
-                out.push(DiffRecord {
-                    page: *p,
-                    proc: self.me,
-                    interval: *interval,
-                    rank: cached.rank,
-                    diff,
-                });
+                out.push(DiffRecord { page, proc: self.me, interval, rank: cached.rank, diff });
             }
         }
         out.sort_by_key(|r| (r.page, r.interval));
-        out
+        (out, materialised, examined)
     }
 
     /// The record of the notices this node needs to send a processor whose
@@ -229,14 +252,16 @@ mod tests {
         let twin = vec![0u8; PAGE_SIZE];
         let mut cur = twin.clone();
         cur[0] = 1;
-        proto.diff_cache.insert(
-            (PageId(3), 1),
-            CachedDiff { entry: DiffEntry::Delta(Diff::create(&twin, &cur)), rank: 1 },
-        );
-        proto.diff_cache.insert(
-            (PageId(3), 2),
-            CachedDiff { entry: DiffEntry::Delta(Diff::create(&twin, &cur)), rank: 2 },
-        );
+        proto
+            .diff_cache
+            .entry(PageId(3))
+            .or_default()
+            .insert(1, CachedDiff { entry: DiffEntry::Delta(Diff::create(&twin, &cur)), rank: 1 });
+        proto
+            .diff_cache
+            .entry(PageId(3))
+            .or_default()
+            .insert(2, CachedDiff { entry: DiffEntry::Delta(Diff::create(&twin, &cur)), rank: 2 });
 
         // A requester that has already seen interval 1 of proc 0.
         let mut vt = Vt::new(2);
@@ -255,7 +280,11 @@ mod tests {
         let mut proto = ProtoState::new(1, 2);
         let mut table = PageTable::new();
         table.write_bytes(PageId(7).base(), &[9, 9, 9, 9]);
-        proto.diff_cache.insert((PageId(7), 1), CachedDiff { entry: DiffEntry::FullPage, rank: 1 });
+        proto
+            .diff_cache
+            .entry(PageId(7))
+            .or_default()
+            .insert(1, CachedDiff { entry: DiffEntry::FullPage, rank: 1 });
         let records = proto.diffs_for_pages_after(&[PageId(7)], &Vt::new(2), &table);
         assert_eq!(records.len(), 1);
         let mut page = vec![0u8; PAGE_SIZE];

@@ -14,14 +14,25 @@
 //! touching bytes; see `DESIGN.md`, "The software TLB and why epochs are
 //! sufficient".
 //!
-//! The cache is direct-mapped, like a classic hardware TLB: page id modulo
-//! [`TLB_SLOTS`]. Conflicts simply evict — correctness never depends on an
+//! The cache is two-way set associative: page id modulo [`TLB_SETS`]
+//! selects a set, and within a set the insert evicts the entry observed at
+//! the older epoch (a cheap, deterministic LRU proxy). Two ways matter for
+//! the phase plans of the compiler interface, which warm a read section
+//! and a write section in one call — with a direct-mapped cache a single
+//! unlucky alignment makes the two sections evict each other on every
+//! access. Conflicts still only evict — correctness never depends on an
 //! entry being present.
 
 use pagedmem::{FrameRef, PageId};
 
-/// Number of direct-mapped TLB slots per processor.
+/// Total number of TLB entries per processor.
 pub(crate) const TLB_SLOTS: usize = 256;
+
+/// Associativity: entries per set.
+const TLB_WAYS: usize = 2;
+
+/// Number of sets (`page.0 % TLB_SETS` selects the set).
+pub(crate) const TLB_SETS: usize = TLB_SLOTS / TLB_WAYS;
 
 #[derive(Debug)]
 struct TlbEntry {
@@ -31,35 +42,53 @@ struct TlbEntry {
     writable: bool,
 }
 
-/// A direct-mapped cache of page → frame mappings, validated by epoch.
+/// A two-way set-associative cache of page → frame mappings, validated by
+/// epoch.
 #[derive(Debug)]
 pub(crate) struct SoftTlb {
-    slots: Vec<Option<TlbEntry>>,
+    sets: Vec<[Option<TlbEntry>; TLB_WAYS]>,
 }
 
 impl SoftTlb {
     pub(crate) fn new() -> SoftTlb {
-        SoftTlb { slots: (0..TLB_SLOTS).map(|_| None).collect() }
+        SoftTlb { sets: (0..TLB_SETS).map(|_| [None, None]).collect() }
     }
 
-    fn slot(page: PageId) -> usize {
-        page.0 % TLB_SLOTS
+    fn set(page: PageId) -> usize {
+        page.0 % TLB_SETS
     }
 
     /// The cached frame for `page`, provided the entry was filled at the
     /// current protection `epoch` and allows the requested access.
     pub(crate) fn probe(&self, page: PageId, is_write: bool, epoch: u64) -> Option<&FrameRef> {
-        match &self.slots[Self::slot(page)] {
+        self.sets[Self::set(page)].iter().find_map(|way| match way {
             Some(e) if e.page == page && e.epoch == epoch && (!is_write || e.writable) => {
                 Some(&e.frame)
             }
             _ => None,
-        }
+        })
     }
 
-    /// Caches `frame` as the mapping of `page`, observed at `epoch`.
+    /// Caches `frame` as the mapping of `page`, observed at `epoch`. An
+    /// existing entry for the page is replaced in place; otherwise an empty
+    /// way is used, and failing that the way filled at the older epoch is
+    /// evicted (ties evict way 0, deterministically).
     pub(crate) fn insert(&mut self, page: PageId, frame: FrameRef, epoch: u64, writable: bool) {
-        self.slots[Self::slot(page)] = Some(TlbEntry { page, frame, epoch, writable });
+        let set = &mut self.sets[Self::set(page)];
+        let victim = set
+            .iter()
+            .position(|way| way.as_ref().is_some_and(|e| e.page == page))
+            .or_else(|| set.iter().position(Option::is_none))
+            .unwrap_or_else(|| {
+                let epochs: Vec<u64> =
+                    set.iter().map(|way| way.as_ref().map_or(0, |e| e.epoch)).collect();
+                if epochs[1] < epochs[0] {
+                    1
+                } else {
+                    0
+                }
+            });
+        set[victim] = Some(TlbEntry { page, frame, epoch, writable });
     }
 }
 
@@ -98,11 +127,36 @@ mod tests {
     }
 
     #[test]
-    fn conflicting_pages_evict_each_other() {
+    fn two_conflicting_pages_coexist_in_one_set() {
+        // The warm-list case that motivated the associativity: a read
+        // section and a write section whose pages alias the same set.
         let mut tlb = SoftTlb::new();
         tlb.insert(PageId(5), frame(), 1, false);
-        tlb.insert(PageId(5 + TLB_SLOTS), frame(), 1, false);
-        assert!(tlb.probe(PageId(5), false, 1).is_none(), "direct-mapped conflict evicts");
-        assert!(tlb.probe(PageId(5 + TLB_SLOTS), false, 1).is_some());
+        tlb.insert(PageId(5 + TLB_SETS), frame(), 1, true);
+        assert!(tlb.probe(PageId(5), false, 1).is_some(), "two ways must hold both");
+        assert!(tlb.probe(PageId(5 + TLB_SETS), true, 1).is_some());
+    }
+
+    #[test]
+    fn a_third_conflicting_page_evicts_the_oldest_epoch() {
+        let mut tlb = SoftTlb::new();
+        tlb.insert(PageId(5), frame(), 1, false);
+        tlb.insert(PageId(5 + TLB_SETS), frame(), 3, false);
+        tlb.insert(PageId(5 + 2 * TLB_SETS), frame(), 3, false);
+        assert!(tlb.probe(PageId(5), false, 1).is_none(), "the epoch-1 entry is the victim");
+        assert!(tlb.probe(PageId(5 + TLB_SETS), false, 3).is_some());
+        assert!(tlb.probe(PageId(5 + 2 * TLB_SETS), false, 3).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_cached_page_replaces_in_place() {
+        let mut tlb = SoftTlb::new();
+        tlb.insert(PageId(9), frame(), 1, false);
+        tlb.insert(PageId(9 + TLB_SETS), frame(), 1, false);
+        // Upgrade page 9 to writable at a newer epoch: the set's other way
+        // must survive.
+        tlb.insert(PageId(9), frame(), 2, true);
+        assert!(tlb.probe(PageId(9), true, 2).is_some());
+        assert!(tlb.probe(PageId(9 + TLB_SETS), false, 1).is_some());
     }
 }
