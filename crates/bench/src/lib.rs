@@ -1,19 +1,26 @@
 //! # dsm-bench — the benchmark harness
 //!
 //! Runs the application kernels of [`dsm_apps`] under the SP/2 cost model
-//! in every protocol variant, collects the `sp2model` statistics that the
-//! paper's tables are built from (page faults, messages, bytes, lock
-//! acquisitions, virtual time) plus the fast-path counters introduced with
-//! the software TLB (page-table-lock acquisitions, TLB hits/misses), and
-//! renders them as deterministic JSON.
+//! in every protocol variant and at every cluster size of the matrix
+//! (`nprocs` ∈ {2, 4, 8} — the paper reports 8 processors), collects the
+//! `sp2model` statistics that the paper's tables are built from (page
+//! faults, messages, bytes, lock acquisitions, virtual time), the fast-path
+//! counters introduced with the software TLB (page-table-lock acquisitions,
+//! TLB hits/misses) and the split-phase counters (`split_phase_issues`,
+//! `split_phase_completes`, `sync_wait_ns` — how long completions actually
+//! stalled), and renders them as deterministic JSON.
 //!
-//! The checked-in `BENCH_PR3.json` at the repository root is produced by
+//! The checked-in `BENCH_PR4.json` at the repository root is produced by
 //! `cargo run -p dsm-bench` and consumed by `cargo run -p dsm-bench --
-//! --check`, which re-runs the suite and fails if the Jacobi `Push` or the
-//! SOR `Validate` variant's model time regresses by more than 10% — the CI
-//! smoke gate over both the fully analyzable floor and the split-phase
-//! barrier path. (`BENCH_PR2.json` is kept alongside as the previous
-//! milestone's numbers.)
+//! --check`, which re-runs the suite and fails if a gated record's model
+//! time regresses by more than 10%. Gated are the fully analyzable Jacobi
+//! `Push` floor and the split-phase SOR `Validate` path at 4 processors,
+//! plus SOR `Validate` at the paper's 8 processors — the record that
+//! exercises the tree-structured barrier. Records are keyed by
+//! `(app, variant, nprocs)` end to end; keying by `(app, variant)` alone
+//! silently compared against whichever matching record appeared first in
+//! the baseline once the matrix varied `nprocs`. (`BENCH_PR3.json` and
+//! `BENCH_PR2.json` are kept alongside as previous milestones' numbers.)
 //!
 //! Everything here is deterministic: the clocks are *virtual* (message
 //! costs come from the cost model, not the host), the kernels are lock-free
@@ -25,17 +32,23 @@
 
 use dsm_apps::{jacobi, sor, GridConfig, Variant};
 use sp2model::CostModel;
-use treadmarks::{Dsm, DsmConfig};
+use treadmarks::{BarrierTopology, Dsm, DsmConfig};
 
 /// The schema tag embedded in the JSON output.
-pub const SCHEMA: &str = "dsm-bench/pr3";
+pub const SCHEMA: &str = "dsm-bench/pr4";
 
 /// Allowed model-time regression before the check mode fails, in percent.
 pub const REGRESSION_LIMIT_PCT: f64 = 10.0;
 
-/// The `(app, variant)` records gated by `--check`: the fully analyzable
-/// push floor and the split-phase barrier-bound Validate path.
-pub const GATED: [(&str, &str); 2] = [("jacobi", "push"), ("sor", "validate")];
+/// The cluster sizes of the standard matrix.
+pub const NPROCS_MATRIX: [usize; 3] = [2, 4, 8];
+
+/// The `(app, variant, nprocs)` records gated by `--check`: the fully
+/// analyzable push floor and the split-phase barrier-bound Validate path at
+/// the historical 4 processors, plus the 8-processor Validate record that
+/// rides on the tree-structured barrier.
+pub const GATED: [(&str, &str, usize); 3] =
+    [("jacobi", "push", 4), ("sor", "validate", 4), ("sor", "validate", 8)];
 
 /// One benchmark run: a kernel, a variant, its size, and what it measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,21 +81,31 @@ pub struct BenchRecord {
     pub bytes: u64,
     /// Application lock acquisitions.
     pub lock_acquires: u64,
+    /// Virtual nanoseconds split-phase completions actually stalled waiting
+    /// for sync responses — overlapped computation drives this toward zero,
+    /// which is the split-phase win made directly visible.
+    pub sync_wait_ns: u64,
+    /// Split-phase `Validate_w_sync` issue halves.
+    pub split_phase_issues: u64,
+    /// Split-phase completion halves.
+    pub split_phase_completes: u64,
 }
 
-/// Runs one kernel/variant combination and collects its record.
-pub fn run_case(
+/// Runs one kernel/variant combination under the given barrier topology
+/// and collects its record.
+pub fn run_case_with_barrier(
     app: &'static str,
     cfg: GridConfig,
     nprocs: usize,
     variant: Variant,
+    barrier: BarrierTopology,
 ) -> BenchRecord {
     let kernel = match app {
         "jacobi" => jacobi,
         "sor" => sor,
         other => panic!("unknown kernel {other:?}"),
     };
-    let config = DsmConfig::new(nprocs).with_cost_model(CostModel::sp2());
+    let config = DsmConfig::new(nprocs).with_cost_model(CostModel::sp2()).with_barrier(barrier);
     let run = Dsm::run(config, move |p| kernel(p, &cfg, variant));
     let t = run.stats.total();
     BenchRecord {
@@ -100,20 +123,34 @@ pub fn run_case(
         messages: t.messages_sent,
         bytes: t.bytes_sent,
         lock_acquires: t.lock_acquires,
+        sync_wait_ns: t.sync_wait_ns,
+        split_phase_issues: t.split_phase_issues,
+        split_phase_completes: t.split_phase_completes,
     }
 }
 
+/// Runs one kernel/variant combination with the default (tree) barrier.
+pub fn run_case(
+    app: &'static str,
+    cfg: GridConfig,
+    nprocs: usize,
+    variant: Variant,
+) -> BenchRecord {
+    run_case_with_barrier(app, cfg, nprocs, variant, BarrierTopology::default())
+}
+
 /// The standard suite: both kernels, all three variants, at the smoke size
-/// used by CI (page-aligned columns, four processors).
+/// used by CI (page-aligned columns) across the `nprocs` matrix.
 pub fn suite() -> Vec<BenchRecord> {
     let jacobi_cfg = GridConfig { rows: 512, cols: 32, iters: 4 };
     let sor_cfg = GridConfig { rows: 512, cols: 32, iters: 3 };
     let mut records = Vec::new();
-    for variant in Variant::ALL {
-        records.push(run_case("jacobi", jacobi_cfg, 4, variant));
-    }
-    for variant in Variant::ALL {
-        records.push(run_case("sor", sor_cfg, 4, variant));
+    for (app, cfg) in [("jacobi", jacobi_cfg), ("sor", sor_cfg)] {
+        for &nprocs in &NPROCS_MATRIX {
+            for variant in Variant::ALL {
+                records.push(run_case(app, cfg, nprocs, variant));
+            }
+        }
     }
     records
 }
@@ -131,7 +168,8 @@ pub fn render_json(records: &[BenchRecord]) -> String {
             "    {{\"app\":\"{}\",\"variant\":\"{}\",\"nprocs\":{},\"rows\":{},\"cols\":{},\
              \"iters\":{},\"time_ns\":{},\"table_lock_acquires\":{},\"tlb_hits\":{},\
              \"tlb_misses\":{},\"page_faults\":{},\"messages\":{},\"bytes\":{},\
-             \"lock_acquires\":{}}}{comma}\n",
+             \"lock_acquires\":{},\"sync_wait_ns\":{},\"split_phase_issues\":{},\
+             \"split_phase_completes\":{}}}{comma}\n",
             r.app,
             r.variant,
             r.nprocs,
@@ -146,6 +184,9 @@ pub fn render_json(records: &[BenchRecord]) -> String {
             r.messages,
             r.bytes,
             r.lock_acquires,
+            r.sync_wait_ns,
+            r.split_phase_issues,
+            r.split_phase_completes,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -160,6 +201,10 @@ pub struct BaselineRecord {
     pub app: String,
     /// Variant name.
     pub variant: String,
+    /// Number of simulated processors. Part of the record key: without it
+    /// the gate compared against whichever `(app, variant)` record appeared
+    /// first in the file once the matrix varied `nprocs`.
+    pub nprocs: usize,
     /// Model execution time in nanoseconds.
     pub time_ns: u64,
 }
@@ -187,6 +232,7 @@ pub fn parse_baseline(json: &str) -> Vec<BaselineRecord> {
             Some(BaselineRecord {
                 app: str_field(line, "app")?,
                 variant: str_field(line, "variant")?,
+                nprocs: u64_field(line, "nprocs")? as usize,
                 time_ns: u64_field(line, "time_ns")?,
             })
         })
@@ -194,7 +240,8 @@ pub fn parse_baseline(json: &str) -> Vec<BaselineRecord> {
 }
 
 /// The CI regression gate: compares the current suite against a baseline
-/// file and reports per-record deltas.
+/// file and reports per-record deltas. Records are matched by the full
+/// `(app, variant, nprocs)` key.
 ///
 /// # Errors
 ///
@@ -209,9 +256,14 @@ pub fn check_regression(
     let mut report = Vec::new();
     let mut gated_seen = 0;
     for cur in current {
-        let Some(base) = baseline.iter().find(|b| b.app == cur.app && b.variant == cur.variant)
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.app == cur.app && b.variant == cur.variant && b.nprocs == cur.nprocs)
         else {
-            report.push(format!("{}/{}: no baseline (new record)", cur.app, cur.variant));
+            report.push(format!(
+                "{}/{}@{}: no baseline (new record)",
+                cur.app, cur.variant, cur.nprocs
+            ));
             continue;
         };
         let delta_pct = if base.time_ns == 0 {
@@ -220,16 +272,16 @@ pub fn check_regression(
             (cur.time_ns as f64 - base.time_ns as f64) / base.time_ns as f64 * 100.0
         };
         report.push(format!(
-            "{}/{}: {} -> {} ns ({:+.2}%)",
-            cur.app, cur.variant, base.time_ns, cur.time_ns, delta_pct
+            "{}/{}@{}: {} -> {} ns ({:+.2}%)",
+            cur.app, cur.variant, cur.nprocs, base.time_ns, cur.time_ns, delta_pct
         ));
-        if GATED.contains(&(cur.app, cur.variant)) {
+        if GATED.contains(&(cur.app, cur.variant, cur.nprocs)) {
             gated_seen += 1;
             if delta_pct > REGRESSION_LIMIT_PCT {
                 return Err(format!(
-                    "{}/{} model time regressed {delta_pct:+.2}% \
+                    "{}/{}@{} model time regressed {delta_pct:+.2}% \
                      ({} -> {} ns), over the {REGRESSION_LIMIT_PCT}% limit",
-                    cur.app, cur.variant, base.time_ns, cur.time_ns
+                    cur.app, cur.variant, cur.nprocs, base.time_ns, cur.time_ns
                 ));
             }
         }
@@ -249,6 +301,13 @@ mod tests {
 
     fn tiny(app: &'static str, variant: Variant) -> BenchRecord {
         run_case(app, GridConfig { rows: 64, cols: 8, iters: 2 }, 4, variant)
+    }
+
+    fn line(app: &str, variant: &str, nprocs: usize, time_ns: u64) -> String {
+        format!(
+            "{{\"app\":\"{app}\",\"variant\":\"{variant}\",\"nprocs\":{nprocs},\
+             \"time_ns\":{time_ns}}}\n"
+        )
     }
 
     #[test]
@@ -298,39 +357,87 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].app, "jacobi");
         assert_eq!(parsed[0].variant, "treadmarks");
+        assert_eq!(parsed[0].nprocs, 4);
         assert_eq!(parsed[0].time_ns, records[0].time_ns);
         assert_eq!(parsed[1].time_ns, records[1].time_ns);
     }
 
     #[test]
     fn regression_gate_fails_on_slowdowns_and_passes_in_budget() {
-        let current = vec![tiny("jacobi", Variant::Push), tiny("sor", Variant::Validate)];
-        let line = |app: &str, variant: &str, time_ns: u64| {
-            format!("{{\"app\":\"{app}\",\"variant\":\"{variant}\",\"time_ns\":{time_ns}}}\n")
-        };
+        let current = vec![
+            tiny("jacobi", Variant::Push),
+            tiny("sor", Variant::Validate),
+            run_case("sor", GridConfig { rows: 64, cols: 16, iters: 2 }, 8, Variant::Validate),
+        ];
         // Baselines equal to current: within budget.
-        let same = line("jacobi", "push", current[0].time_ns)
-            + &line("sor", "validate", current[1].time_ns);
+        let same = line("jacobi", "push", 4, current[0].time_ns)
+            + &line("sor", "validate", 4, current[1].time_ns)
+            + &line("sor", "validate", 8, current[2].time_ns);
         assert!(check_regression(&current, &same).is_ok());
-        // Either gated baseline much faster than current: gate trips.
-        let push_fast = line("jacobi", "push", current[0].time_ns / 2)
-            + &line("sor", "validate", current[1].time_ns);
-        assert!(check_regression(&current, &push_fast).is_err());
-        let sor_fast = line("jacobi", "push", current[0].time_ns)
-            + &line("sor", "validate", current[1].time_ns / 2);
-        assert!(check_regression(&current, &sor_fast).is_err());
+        // Any gated baseline much faster than current: gate trips.
+        for fast in 0..current.len() {
+            let mut doctored = current.clone();
+            doctored[fast].time_ns *= 2;
+            assert!(
+                check_regression(&doctored, &same).is_err(),
+                "gate must trip when record {fast} regresses"
+            );
+        }
         // Baseline missing a gated record: refuse to pass silently.
-        assert!(check_regression(&current, &line("jacobi", "push", current[0].time_ns)).is_err());
+        let partial = line("jacobi", "push", 4, current[0].time_ns)
+            + &line("sor", "validate", 4, current[1].time_ns);
+        assert!(check_regression(&current, &partial).is_err());
         assert!(check_regression(&current, "{}").is_err());
+    }
+
+    #[test]
+    fn baseline_keying_disambiguates_nprocs() {
+        // Regression test for the ambiguous-baseline bug: with `nprocs` in
+        // the matrix, keying by `(app, variant)` alone made the gate
+        // compare against whichever matching record appeared *first* in the
+        // baseline file. Here the first `sor/validate` line is a 2-processor
+        // record with an absurdly fast time; under the old keying the
+        // 4- and 8-processor comparisons both matched it and tripped the
+        // gate. With `(app, variant, nprocs)` keying each record finds its
+        // own line and the gate passes.
+        let cfg = GridConfig { rows: 64, cols: 16, iters: 2 };
+        let current = vec![
+            run_case("jacobi", cfg, 4, Variant::Push),
+            run_case("sor", cfg, 4, Variant::Validate),
+            run_case("sor", cfg, 8, Variant::Validate),
+        ];
+        let baseline = line("sor", "validate", 2, 1)
+            + &line("jacobi", "push", 4, current[0].time_ns)
+            + &line("sor", "validate", 4, current[1].time_ns)
+            + &line("sor", "validate", 8, current[2].time_ns);
+        let report = check_regression(&current, &baseline)
+            .expect("per-nprocs keying must match the right record");
+        assert!(
+            report.iter().any(|l| l.contains("sor/validate@8")),
+            "the 8-processor record must be compared: {report:?}"
+        );
+        // The converse direction: a genuinely regressed 8-processor record
+        // must not hide behind a fast same-(app,variant) line at another
+        // nprocs appearing first.
+        let mut regressed = current.clone();
+        regressed[2].time_ns = current[2].time_ns * 2;
+        let generous_first = line("sor", "validate", 2, u64::MAX / 2)
+            + &line("jacobi", "push", 4, current[0].time_ns)
+            + &line("sor", "validate", 4, current[1].time_ns)
+            + &line("sor", "validate", 8, current[2].time_ns);
+        assert!(
+            check_regression(&regressed, &generous_first).is_err(),
+            "a regression at 8 processors must not match the generous 2-processor line"
+        );
     }
 
     #[test]
     fn split_phase_barriers_hit_the_acceptance_targets() {
         // The ISSUE acceptance criteria, self-enforced at the standard
         // suite size: the split-phase SOR/Validate path must land below
-        // 8 ms model time (from 13.2 ms before the batched barrier
-        // protocol), and every aggregate/optimized form must take fewer
-        // than 100 global table-lock acquisitions per run.
+        // 8 ms model time, every aggregate/optimized form must take fewer
+        // than 100 global table-lock acquisitions per run at 4 processors,
+        // and the split-phase counters must be surfaced in the record.
         let sor_cfg = GridConfig { rows: 512, cols: 32, iters: 3 };
         let jacobi_cfg = GridConfig { rows: 512, cols: 32, iters: 4 };
         let sor_val = run_case("sor", sor_cfg, 4, Variant::Validate);
@@ -339,6 +446,9 @@ mod tests {
             "sor/validate must be under 8 ms: {} ns",
             sor_val.time_ns
         );
+        assert!(sor_val.split_phase_issues > 0, "split-phase issues must be surfaced");
+        assert_eq!(sor_val.split_phase_issues, sor_val.split_phase_completes);
+        assert!(sor_val.sync_wait_ns > 0, "completion stall must be surfaced");
         for record in [
             run_case("jacobi", jacobi_cfg, 4, Variant::Validate),
             run_case("jacobi", jacobi_cfg, 4, Variant::Push),
@@ -353,5 +463,29 @@ mod tests {
                 record.table_lock_acquires
             );
         }
+    }
+
+    #[test]
+    fn tree_barrier_beats_flat_at_eight_processors() {
+        // The tentpole's measured claim: at the paper's 8 processors the
+        // tree-structured barrier (arity 2) must beat the stock
+        // master-centric exchange on the barrier-bound SOR/Validate path,
+        // measured in the same run.
+        let cfg = GridConfig { rows: 512, cols: 32, iters: 3 };
+        let tree = run_case_with_barrier(
+            "sor",
+            cfg,
+            8,
+            Variant::Validate,
+            BarrierTopology::Tree { arity: 2 },
+        );
+        let flat =
+            run_case_with_barrier("sor", cfg, 8, Variant::Validate, BarrierTopology::FlatMaster);
+        assert!(
+            tree.time_ns < flat.time_ns,
+            "tree barrier must beat the flat master at 8 procs: {} vs {} ns",
+            tree.time_ns,
+            flat.time_ns
+        );
     }
 }

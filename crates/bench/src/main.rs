@@ -1,6 +1,6 @@
 //! Command-line entry point of the benchmark harness.
 //!
-//! * `cargo run -p dsm-bench` — run the suite and write `BENCH_PR3.json`
+//! * `cargo run -p dsm-bench` — run the suite and write `BENCH_PR4.json`
 //!   (path configurable with `--out`), printing a summary table.
 //! * `cargo run -p dsm-bench -- --check` — run the suite and compare it
 //!   against the checked-in baseline (path configurable with
@@ -11,8 +11,8 @@ use dsm_bench::{check_regression, render_json, suite};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check = false;
-    let mut out = String::from("BENCH_PR3.json");
-    let mut baseline = String::from("BENCH_PR3.json");
+    let mut out = String::from("BENCH_PR4.json");
+    let mut baseline = String::from("BENCH_PR4.json");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -29,20 +29,29 @@ fn main() {
     eprintln!("running the dsm-bench suite (SP/2 cost model)...");
     let records = suite();
     println!(
-        "{:8} {:12} {:>14} {:>12} {:>10} {:>10} {:>8} {:>10}",
-        "app", "variant", "time_us", "table_locks", "tlb_hits", "misses", "segv", "msgs"
+        "{:8} {:12} {:>3} {:>12} {:>12} {:>10} {:>8} {:>8} {:>12}",
+        "app",
+        "variant",
+        "np",
+        "time_us",
+        "table_locks",
+        "tlb_hits",
+        "segv",
+        "msgs",
+        "sync_wait_us"
     );
     for r in &records {
         println!(
-            "{:8} {:12} {:>14} {:>12} {:>10} {:>10} {:>8} {:>10}",
+            "{:8} {:12} {:>3} {:>12} {:>12} {:>10} {:>8} {:>8} {:>12}",
             r.app,
             r.variant,
+            r.nprocs,
             r.time_ns / 1_000,
             r.table_lock_acquires,
             r.tlb_hits,
-            r.tlb_misses,
             r.page_faults,
-            r.messages
+            r.messages,
+            r.sync_wait_ns / 1_000
         );
     }
 

@@ -61,6 +61,14 @@ pub struct CostModel {
     pub lock_manager_ns: u64,
     /// Processing cost on the barrier master per arriving processor.
     pub barrier_master_per_proc_ns: u64,
+    /// Per-child service cost at one hop of a tree-structured barrier:
+    /// consuming a pre-posted (polled, no interrupt) arrival or departure
+    /// and merging its vector timestamp and write notices. Smaller than
+    /// [`barrier_master_per_proc_ns`](Self::barrier_master_per_proc_ns)
+    /// because the flat master's per-processor figure includes the interrupt
+    /// dispatch that the dedicated tree exchange avoids (compare the paper's
+    /// 365 µs round trip *including an interrupt* with the polled path).
+    pub barrier_hop_per_child_ns: u64,
     /// Processing cost on every processor per barrier (local bookkeeping,
     /// write-notice handling).
     pub barrier_local_ns: u64,
@@ -96,6 +104,7 @@ impl CostModel {
             diff_apply_base_ns: 8_000,
             lock_manager_ns: 62_000,
             barrier_master_per_proc_ns: 60_000,
+            barrier_hop_per_child_ns: 25_000,
             barrier_local_ns: 40_000,
             sync_merge_scan_per_page_ns: 9_000,
         }
@@ -120,6 +129,7 @@ impl CostModel {
             diff_apply_base_ns: 0,
             lock_manager_ns: 0,
             barrier_master_per_proc_ns: 0,
+            barrier_hop_per_child_ns: 0,
             barrier_local_ns: 0,
             sync_merge_scan_per_page_ns: 0,
         }
@@ -191,6 +201,15 @@ impl CostModel {
     /// Master-side processing cost of a barrier over `procs` processors.
     pub fn barrier_master_cost(&self, procs: usize) -> VirtualTime {
         VirtualTime::from_nanos(self.barrier_master_per_proc_ns).scale(procs as u64)
+    }
+
+    /// Service cost of one tree-barrier hop that merges `children` child
+    /// messages (arrivals on the way up, or the departure it re-fans on the
+    /// way down). Charged at every interior node, so the barrier's critical
+    /// path scales with the tree depth times the arity instead of the flat
+    /// master's O(n) serialization.
+    pub fn barrier_hop_cost(&self, children: usize) -> VirtualTime {
+        VirtualTime::from_nanos(self.barrier_hop_per_child_ns).scale(children as u64)
     }
 
     /// Per-processor local cost of participating in a barrier.
@@ -292,6 +311,8 @@ builder_setters! {
     lock_manager_ns: u64,
     /// Sets the per-processor barrier-master cost (ns).
     barrier_master_per_proc_ns: u64,
+    /// Sets the per-child tree-barrier hop service cost (ns).
+    barrier_hop_per_child_ns: u64,
     /// Sets the per-processor local barrier cost (ns).
     barrier_local_ns: u64,
     /// Sets the per-page sync-merge scan cost (ns).
@@ -321,6 +342,16 @@ mod tests {
         let m = CostModel::sp2();
         let barrier = m.barrier_cost(8).as_micros();
         assert!((820..980).contains(&barrier), "8-proc barrier {barrier}us should be ~893us");
+    }
+
+    #[test]
+    fn tree_hop_service_is_cheaper_than_flat_master_serialization() {
+        let m = CostModel::sp2();
+        // A binary hop services two children for less than the flat master
+        // pays per two arrivals — the no-interrupt discount.
+        assert!(m.barrier_hop_cost(2) < m.barrier_master_cost(2));
+        assert_eq!(m.barrier_hop_cost(3), m.barrier_hop_cost(1).scale(3));
+        assert_eq!(CostModel::free().barrier_hop_cost(4), VirtualTime::ZERO);
     }
 
     #[test]

@@ -109,6 +109,12 @@ define_stats! {
     /// issue and complete hides fetch latency and shrinks this number — the
     /// split-phase overlap made measurable.
     sync_wait_ns,
+    /// Diff-cache entries dropped by the barrier garbage-collection horizon
+    /// (every processor had incorporated — or provably never needs — the
+    /// trimmed interval's modifications).
+    gc_trimmed_diffs,
+    /// Notice-log interval records dropped by the same horizon.
+    gc_trimmed_notices,
     /// Broadcast sends (one logical message delivered to all other nodes).
     broadcasts,
     /// Acquisitions of a node's global page-table lock (the serialisation

@@ -2,14 +2,54 @@
 
 use sp2model::CostModel;
 
+/// How the barrier exchange is structured across the processors.
+///
+/// The paper's stock TreadMarks routes every arrival to processor 0 and
+/// every departure back out of it — simple, but the master serializes O(n)
+/// message handling per barrier. The tree topology spreads that work over a
+/// reduction/broadcast tree so the critical path is O(arity · log n).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierTopology {
+    /// The stock master-centric exchange: every processor sends its arrival
+    /// straight to processor 0 over the interrupt-driven message path and
+    /// the master answers each with a departure. Kept for measurement
+    /// against the tree (and as the faithful reproduction of the paper's
+    /// ~893 µs 8-processor barrier).
+    FlatMaster,
+    /// A k-ary reduction/broadcast tree rooted at processor 0 (node `i`'s
+    /// children are `i·k+1 ..= i·k+k`): arrivals merge notices, vector
+    /// timestamps and piggybacked fetch requests on the way up, departures
+    /// fan the merged global state back down. Hop messages travel on the
+    /// polled (no-interrupt) path — every participant is blocked in the
+    /// barrier with its receive pre-posted — and each hop charges a
+    /// per-child service cost, so model time reflects the O(log n) critical
+    /// path.
+    Tree {
+        /// Fan-out of the reduction/broadcast tree (must be at least 1).
+        arity: usize,
+    },
+}
+
+impl BarrierTopology {
+    /// The default tree fan-out.
+    pub const DEFAULT_ARITY: usize = 2;
+}
+
+impl Default for BarrierTopology {
+    fn default() -> Self {
+        BarrierTopology::Tree { arity: BarrierTopology::DEFAULT_ARITY }
+    }
+}
+
 /// Configuration of a DSM run.
 ///
 /// ```
-/// use treadmarks::DsmConfig;
+/// use treadmarks::{BarrierTopology, DsmConfig};
 /// use sp2model::CostModel;
 ///
 /// let config = DsmConfig::new(8).with_cost_model(CostModel::sp2());
 /// assert_eq!(config.nprocs, 8);
+/// assert_eq!(config.barrier, BarrierTopology::Tree { arity: 2 });
 /// ```
 #[derive(Debug, Clone)]
 pub struct DsmConfig {
@@ -19,11 +59,13 @@ pub struct DsmConfig {
     pub cost_model: CostModel,
     /// Capacity of the shared heap in bytes.
     pub heap_capacity: usize,
+    /// Barrier exchange topology (default: binary reduction tree).
+    pub barrier: BarrierTopology,
 }
 
 impl DsmConfig {
-    /// A configuration for `nprocs` processors with the SP/2 cost model and
-    /// the default heap size.
+    /// A configuration for `nprocs` processors with the SP/2 cost model,
+    /// the default heap size and the binary-tree barrier.
     ///
     /// # Panics
     ///
@@ -34,6 +76,7 @@ impl DsmConfig {
             nprocs,
             cost_model: CostModel::sp2(),
             heap_capacity: pagedmem::SharedAlloc::DEFAULT_CAPACITY,
+            barrier: BarrierTopology::default(),
         }
     }
 
@@ -47,6 +90,29 @@ impl DsmConfig {
     pub fn with_heap_capacity(mut self, bytes: usize) -> DsmConfig {
         self.heap_capacity = bytes;
         self
+    }
+
+    /// Replaces the barrier topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tree topology with arity zero is given.
+    pub fn with_barrier(mut self, barrier: BarrierTopology) -> DsmConfig {
+        if let BarrierTopology::Tree { arity } = barrier {
+            assert!(arity > 0, "a barrier tree needs an arity of at least 1");
+        }
+        self.barrier = barrier;
+        self
+    }
+
+    /// Selects a tree barrier with the given fan-out.
+    pub fn with_barrier_arity(self, arity: usize) -> DsmConfig {
+        self.with_barrier(BarrierTopology::Tree { arity })
+    }
+
+    /// Selects the stock master-centric barrier.
+    pub fn with_flat_barrier(self) -> DsmConfig {
+        self.with_barrier(BarrierTopology::FlatMaster)
     }
 }
 
@@ -63,8 +129,22 @@ mod tests {
     }
 
     #[test]
+    fn barrier_topology_builders() {
+        let c = DsmConfig::new(8).with_barrier_arity(4);
+        assert_eq!(c.barrier, BarrierTopology::Tree { arity: 4 });
+        let c = c.with_flat_barrier();
+        assert_eq!(c.barrier, BarrierTopology::FlatMaster);
+    }
+
+    #[test]
     #[should_panic]
     fn zero_processors_is_rejected() {
         let _ = DsmConfig::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_arity_is_rejected() {
+        let _ = DsmConfig::new(4).with_barrier_arity(0);
     }
 }

@@ -72,7 +72,7 @@ mod state;
 mod tlb;
 mod types;
 
-pub use config::DsmConfig;
+pub use config::{BarrierTopology, DsmConfig};
 pub use dsm::{Dsm, DsmRun};
 pub use message::TmkMessage;
 pub use notice::{NoticeLog, WriteNotice};

@@ -19,6 +19,17 @@ pub struct DiffRecord {
     /// order so causally later writes overwrite causally earlier ones;
     /// concurrent diffs compare arbitrarily and commute.
     pub rank: u64,
+    /// A consolidated-base (current-copy) record: a full page answering
+    /// every interval of its creator at or below `interval`, served when
+    /// the per-interval history was garbage-collected. A base applies
+    /// *before* the page's interval diffs regardless of rank — its bytes
+    /// are the producer's current copy, which may lack a concurrent
+    /// writer's words (that writer's still-cached delta must win) and may
+    /// contain values causally ahead of the requester's entitlement (the
+    /// owed diffs overwrite them back to exactly the requester's view;
+    /// lazy release consistency redelivers the newer values with their
+    /// notices at the requester's next acquire).
+    pub base: bool,
     /// The encoded modifications.
     pub diff: Diff,
 }
@@ -27,6 +38,34 @@ impl DiffRecord {
     /// Approximate wire size of the record.
     pub fn wire_bytes(&self) -> usize {
         WriteNotice::WIRE_BYTES + 8 + self.diff.encoded_bytes()
+    }
+}
+
+/// One page's portion of a [`TmkMessage::DiffRequest`].
+///
+/// The requester names the intervals it wants individually — plus,
+/// optionally, the owner's *consolidated base*: one full copy of the page
+/// covering every interval at or below `base_through`. Intervals at or
+/// below the requester's garbage-collection horizon are always requested
+/// through the base (never by interval): their owner may be performing its
+/// own trim concurrently in real time, and whether a delta or a full page
+/// came back must not depend on that race — virtual time is derived from
+/// message bytes, so the *requester* decides the shape of the response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageWant {
+    /// The page the request concerns.
+    pub page: PageId,
+    /// Request the consolidated base covering every interval at or below
+    /// this one.
+    pub base_through: Option<Interval>,
+    /// Individually wanted intervals (all above the requester's horizon).
+    pub intervals: Vec<Interval>,
+}
+
+impl PageWant {
+    /// Approximate wire size of the entry.
+    pub fn wire_bytes(&self) -> usize {
+        8 + 4 * self.intervals.len()
     }
 }
 
@@ -100,22 +139,33 @@ pub enum TmkMessage {
         /// Diffs for piggy-backed `Validate_w_sync` pages.
         piggyback: Vec<DiffRecord>,
     },
-    /// Client -> barrier master: barrier arrival.
+    /// Barrier-tree child -> parent: barrier arrival, merged over the
+    /// child's whole subtree (with the flat topology, client -> master).
     BarrierArrival {
-        /// The arriving processor.
+        /// The arriving processor (the subtree root).
         proc: ProcId,
-        /// The arriver's vector timestamp (after flushing its interval).
+        /// The subtree's merged vector timestamp (after flushing).
         vt: Vt,
-        /// Write notices the master may not have seen.
+        /// Component-wise minimum of the subtree's *applied* timestamps:
+        /// the intervals whose modifications every processor of the subtree
+        /// has incorporated into its mapped pages. Aggregated to the root
+        /// and redistributed as the garbage-collection horizon.
+        applied_vt: Vt,
+        /// Write notices of the subtree the parent may not have seen.
         notices: Vec<WriteNotice>,
-        /// The arriver's piggy-backed `Validate_w_sync` request, if any.
-        sync_request: Option<SyncFetchRequest>,
+        /// The subtree's piggy-backed `Validate_w_sync` requests.
+        sync_requests: Vec<SyncFetchRequest>,
     },
-    /// Barrier master -> client: barrier departure.
+    /// Barrier-tree parent -> child: barrier departure, re-fanned down the
+    /// tree (with the flat topology, master -> client).
     BarrierDeparture {
         /// The merged vector timestamp of all processors.
         global_vt: Vt,
-        /// Write notices this client has not seen.
+        /// Component-wise minimum of all processors' applied timestamps —
+        /// the garbage-collection horizon: diffs and notices at or below
+        /// its minimum component can never be requested again.
+        gc_horizon: Vt,
+        /// Write notices this subtree has not seen.
         notices: Vec<WriteNotice>,
         /// All piggy-backed fetch requests, to be answered by whoever holds
         /// the corresponding diffs.
@@ -127,8 +177,8 @@ pub enum TmkMessage {
         req_id: u64,
         /// The requesting processor.
         requester: ProcId,
-        /// Pages and the intervals whose diffs are needed.
-        wants: Vec<(PageId, Vec<Interval>)>,
+        /// Pages and the intervals (or consolidated bases) needed.
+        wants: Vec<PageWant>,
     },
     /// Writer -> faulting processor: the requested diffs, aggregated into a
     /// single message.
@@ -177,18 +227,20 @@ impl TmkMessage {
                     + notices.len() * WriteNotice::WIRE_BYTES
                     + piggyback.iter().map(DiffRecord::wire_bytes).sum::<usize>()
             }
-            TmkMessage::BarrierArrival { vt, notices, sync_request, .. } => {
+            TmkMessage::BarrierArrival { vt, applied_vt, notices, sync_requests, .. } => {
                 4 + vt.wire_bytes()
+                    + applied_vt.wire_bytes()
                     + notices.len() * WriteNotice::WIRE_BYTES
-                    + sync_request.as_ref().map_or(0, SyncFetchRequest::wire_bytes)
+                    + sync_requests.iter().map(SyncFetchRequest::wire_bytes).sum::<usize>()
             }
-            TmkMessage::BarrierDeparture { global_vt, notices, sync_requests } => {
+            TmkMessage::BarrierDeparture { global_vt, gc_horizon, notices, sync_requests } => {
                 global_vt.wire_bytes()
+                    + gc_horizon.wire_bytes()
                     + notices.len() * WriteNotice::WIRE_BYTES
                     + sync_requests.iter().map(SyncFetchRequest::wire_bytes).sum::<usize>()
             }
             TmkMessage::DiffRequest { wants, .. } => {
-                12 + wants.iter().map(|(_, intervals)| 4 + 4 * intervals.len()).sum::<usize>()
+                12 + wants.iter().map(PageWant::wire_bytes).sum::<usize>()
             }
             TmkMessage::DiffResponse { diffs, .. } => {
                 8 + diffs.iter().map(DiffRecord::wire_bytes).sum::<usize>()
@@ -211,12 +263,17 @@ mod tests {
 
     #[test]
     fn wire_bytes_scale_with_content() {
-        let small =
-            TmkMessage::DiffRequest { req_id: 1, requester: 0, wants: vec![(PageId(1), vec![1])] };
+        let want =
+            |page, intervals: Vec<Interval>| PageWant { page, base_through: None, intervals };
+        let small = TmkMessage::DiffRequest {
+            req_id: 1,
+            requester: 0,
+            wants: vec![want(PageId(1), vec![1])],
+        };
         let large = TmkMessage::DiffRequest {
             req_id: 1,
             requester: 0,
-            wants: (0..100).map(|i| (PageId(i), vec![1, 2, 3])).collect(),
+            wants: (0..100).map(|i| want(PageId(i), vec![1, 2, 3])).collect(),
         };
         assert!(large.wire_bytes() > small.wire_bytes());
         assert_eq!(TmkMessage::Shutdown.wire_bytes(), 0);
@@ -232,6 +289,7 @@ mod tests {
             proc: 1,
             interval: 2,
             rank: 2,
+            base: false,
             diff: Diff::create(&twin, &cur),
         };
         assert!(record.wire_bytes() >= 64);
@@ -245,14 +303,21 @@ mod tests {
         let arrival = TmkMessage::BarrierArrival {
             proc: 1,
             vt: vt.clone(),
+            applied_vt: vt.clone(),
             notices: vec![WriteNotice { page: PageId(3), proc: 1, interval: 1 }],
-            sync_request: Some(SyncFetchRequest {
+            sync_requests: vec![SyncFetchRequest {
                 proc: 1,
                 vt: vt.clone(),
                 pages: vec![PageId(3)],
-            }),
+            }],
         };
-        let bare = TmkMessage::BarrierArrival { proc: 1, vt, notices: vec![], sync_request: None };
+        let bare = TmkMessage::BarrierArrival {
+            proc: 1,
+            vt: vt.clone(),
+            applied_vt: vt,
+            notices: vec![],
+            sync_requests: vec![],
+        };
         assert!(arrival.wire_bytes() > bare.wire_bytes());
     }
 }

@@ -93,6 +93,24 @@ impl NoticeLog {
     pub fn interval_count(&self) -> usize {
         self.per_proc.iter().map(BTreeMap::len).sum()
     }
+
+    /// Drops each processor's records covered by `horizon`'s component for
+    /// it. Returns the number of `(proc, interval)` records removed.
+    ///
+    /// Safe once `horizon` is a garbage-collection horizon (every processor
+    /// has incorporated the covered intervals into its mapped pages): any
+    /// future [`notices_after`](Self::notices_after) query carries a
+    /// timestamp covering the horizon, so trimmed records could never be
+    /// reported again.
+    pub fn trim_covered(&mut self, horizon: &Vt) -> usize {
+        let mut removed = 0;
+        for (proc, intervals) in self.per_proc.iter_mut().enumerate() {
+            let keep = intervals.split_off(&(horizon.get(proc) + 1));
+            removed += intervals.len();
+            *intervals = keep;
+        }
+        removed
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +148,24 @@ mod tests {
         assert_eq!(h.get(0), 4);
         assert_eq!(h.get(1), 0);
         assert_eq!(h.get(2), 1);
+    }
+
+    #[test]
+    fn trim_covered_is_per_processor_and_idempotent() {
+        let mut log = NoticeLog::new(2);
+        log.record(0, 1, vec![PageId(1)]);
+        log.record(0, 3, vec![PageId(1)]);
+        log.record(1, 1, vec![PageId(2)]);
+        log.record(1, 4, vec![PageId(2)]);
+        let mut horizon = Vt::new(2);
+        horizon.advance(0, 3);
+        // Processor 1's component stays at zero: its records survive.
+        assert_eq!(log.trim_covered(&horizon), 2);
+        assert!(!log.contains(0, 1));
+        assert!(!log.contains(0, 3));
+        assert!(log.contains(1, 1));
+        assert!(log.contains(1, 4));
+        assert_eq!(log.trim_covered(&horizon), 0, "trimming is idempotent");
     }
 
     #[test]

@@ -28,8 +28,8 @@ use msgnet::{Endpoint, Envelope, NodeId, Port};
 use pagedmem::{AddrRange, EpochProbe, PageFrame, PageId, Protection, SharedAlloc, PAGE_SIZE};
 use sp2model::VirtualClock;
 
-use crate::config::DsmConfig;
-use crate::message::{DiffRecord, SyncFetchRequest, TmkMessage};
+use crate::config::{BarrierTopology, DsmConfig};
+use crate::message::{DiffRecord, PageWant, SyncFetchRequest, TmkMessage};
 use crate::notice::WriteNotice;
 use crate::server;
 use crate::sharedarray::{Shareable, SharedArray, SharedMatrix};
@@ -37,9 +37,19 @@ use crate::state::{CachedDiff, DiffEntry, NodeShared, ProtoState};
 use crate::tlb::SoftTlb;
 use crate::types::{Interval, LockId, ProcId, Vt};
 
-/// The barrier master (the paper assigns the distinguished roles to
-/// processor 0).
+/// The barrier root (the paper assigns the distinguished roles to
+/// processor 0; with the flat topology this is the master every arrival
+/// goes to, with a tree it is the root of the reduction).
 const MASTER: ProcId = 0;
+
+/// The children of `me` in an `arity`-ary barrier tree over `n` processors
+/// (node `i`'s children are `i·arity+1 ..= i·arity+arity`, the k-ary heap
+/// layout). The flat topology is the degenerate tree of arity `n - 1`:
+/// every other processor is a direct child of the master.
+fn tree_children(me: ProcId, n: usize, arity: usize) -> Vec<ProcId> {
+    let first = me * arity + 1;
+    (first..n.min(first.saturating_add(arity))).collect()
+}
 
 /// Panic payload used when a processor unwinds because a *peer* panicked
 /// (the harness poisons every reply port so processors blocked in a
@@ -407,6 +417,42 @@ fn serve_requests_locked(
     (out, examined.len(), materialised)
 }
 
+/// Builds the per-producer [`PageWant`] lists for everything still missing
+/// on `pages` (minus `in_hand`), under an already-held proto lock.
+///
+/// Intervals above the node's GC horizon are wanted individually; intervals
+/// at or below it are folded into one base request per page (the producer
+/// may be trimming them concurrently in real time, and the response's byte
+/// count — which virtual time is derived from — must not depend on that
+/// race, so the requester fixes the shape: one full page).
+fn wants_for_pages_locked(
+    proto: &ProtoState,
+    pages: &[PageId],
+    in_hand: &HashSet<(PageId, ProcId, Interval)>,
+) -> BTreeMap<ProcId, Vec<PageWant>> {
+    let mut per_proc: BTreeMap<ProcId, Vec<PageWant>> = BTreeMap::new();
+    for &page in pages {
+        let Some(missing) = proto.page_missing.get(&page) else { continue };
+        let mut by_proc: BTreeMap<ProcId, (Option<Interval>, Vec<Interval>)> = BTreeMap::new();
+        for &(proc, interval) in missing {
+            if in_hand.contains(&(page, proc, interval)) {
+                continue;
+            }
+            let (base_through, intervals) = by_proc.entry(proc).or_default();
+            if interval <= proto.gc_horizon.get(proc) {
+                *base_through = Some(base_through.map_or(interval, |t| t.max(interval)));
+            } else {
+                intervals.push(interval);
+            }
+        }
+        for (proc, (base_through, mut intervals)) in by_proc {
+            intervals.sort_unstable();
+            per_proc.entry(proc).or_default().push(PageWant { page, base_through, intervals });
+        }
+    }
+    per_proc
+}
+
 /// The processors that will answer this node's own piggybacked request with
 /// a `SyncDiffs` message: every other processor with a recorded
 /// modification of a requested page above the advertised timestamp sends
@@ -446,6 +492,8 @@ pub struct Process {
     /// processor; it sequences `SyncDiffs` responses (see
     /// [`TmkMessage::SyncDiffs`]).
     barrier_seq: u64,
+    /// How the barrier exchange is structured (from [`DsmConfig::barrier`]).
+    barrier: BarrierTopology,
 }
 
 impl Process {
@@ -465,6 +513,7 @@ impl Process {
             tlb: SoftTlb::new(),
             epoch,
             barrier_seq: 0,
+            barrier: config.barrier,
         }
     }
 
@@ -491,6 +540,25 @@ impl Process {
     /// The cluster cost model.
     pub fn cost_model(&self) -> &sp2model::CostModel {
         &self.shared.cost
+    }
+
+    /// Number of per-interval entries currently in this node's diff cache —
+    /// the quantity the barrier garbage-collection horizon bounds.
+    pub fn diff_cache_entries(&self) -> usize {
+        self.shared.proto.lock().diff_cache.values().map(BTreeMap::len).sum()
+    }
+
+    /// Number of `(processor, interval)` records in this node's notice log.
+    pub fn notice_log_records(&self) -> usize {
+        self.shared.proto.lock().notice_log.interval_count()
+    }
+
+    /// The garbage-collection horizon distributed with the last barrier
+    /// departure: own diffs at or below its component for this node, and
+    /// notices it covers, have been dropped. Always covered by the last
+    /// global vector timestamp.
+    pub fn gc_horizon(&self) -> Vt {
+        self.shared.proto.lock().gc_horizon.clone()
     }
 
     /// Charges `cost` of application computation to this processor.
@@ -956,13 +1024,22 @@ impl Process {
     /// Builds the vector timestamp advertised by a `Validate_w_sync`
     /// request for `pages`: the processor's own timestamp, lowered so that
     /// every still-missing diff of a requested page lies above it.
+    ///
+    /// Missing intervals at or below the GC horizon are *not* named at
+    /// synchronization points: their producer may be trimming them
+    /// concurrently, and whether a delta or the consolidated base came back
+    /// would then depend on a real-time race (breaking virtual-time
+    /// determinism). They stay missing and are fetched through the explicit
+    /// base-request path of [`TmkMessage::DiffRequest`] on first use.
     fn sync_vt(&self, pages: &[PageId]) -> Vt {
         let proto = self.shared.proto.lock();
         let mut vt = proto.vt.clone();
         for page in pages {
             if let Some(missing) = proto.page_missing.get(page) {
                 for &(proc, interval) in missing {
-                    vt.limit(proc, interval.saturating_sub(1));
+                    if interval > proto.gc_horizon.get(proc) {
+                        vt.limit(proc, interval.saturating_sub(1));
+                    }
                 }
             }
         }
@@ -1011,21 +1088,10 @@ impl Process {
         let mut pages: Vec<PageId> = ranges.iter().flat_map(AddrRange::pages).collect();
         pages.sort_unstable();
         pages.dedup();
-        let mut per_proc: BTreeMap<ProcId, Vec<(PageId, Vec<Interval>)>> = BTreeMap::new();
-        {
+        let per_proc = {
             let proto = self.shared.proto.lock();
-            for &page in &pages {
-                let Some(missing) = proto.page_missing.get(&page) else { continue };
-                let mut by_proc: BTreeMap<ProcId, Vec<Interval>> = BTreeMap::new();
-                for &(proc, interval) in missing {
-                    by_proc.entry(proc).or_default().push(interval);
-                }
-                for (proc, mut intervals) in by_proc {
-                    intervals.sort_unstable();
-                    per_proc.entry(proc).or_default().push((page, intervals));
-                }
-            }
-        }
+            wants_for_pages_locked(&proto, &pages, &HashSet::new())
+        };
         let me = self.proc_id();
         let mut expected = Vec::with_capacity(per_proc.len());
         for (proc, wants) in per_proc {
@@ -1074,24 +1140,44 @@ impl Process {
         deferred: &[DeferredWrite],
         warm: &[(AddrRange, bool)],
     ) -> usize {
-        records.sort_by_key(|r| (r.page, r.rank, r.proc, r.interval));
+        // Consolidated bases apply before the page's interval diffs
+        // regardless of rank: a base is the producer's *current copy*,
+        // which may lack a concurrent writer's words (its still-cached
+        // delta, applied after, restores them) and may contain values
+        // causally ahead of this node's entitlement (the owed diffs,
+        // applied after, bring the page back to exactly the view this
+        // node's acquires justify).
+        records.sort_by_key(|r| (r.page, !r.base, r.rank, r.proc, r.interval));
         let mut proto = self.shared.proto.lock();
         let mut table = self.shared.lock_table();
         // Keep only records still on a page's missing list (claiming the
-        // entry), preserving the rank-sorted order.
+        // entry), preserving the sorted order. A base — and likewise a
+        // `WRITE_ALL` full page — claims *every* missing interval of its
+        // creator at or below its own: the whole page is covered, so
+        // earlier modifications by the same processor are subsumed, which
+        // is what lets a producer answer any number of garbage-collected
+        // intervals with one consolidated base copy.
         let mut applicable = Vec::with_capacity(records.len());
         for record in records {
             let Some(missing) = proto.page_missing.get_mut(&record.page) else { continue };
-            let Some(pos) =
+            let claimed = if record.base || record.diff.modified_bytes() == PAGE_SIZE {
+                let before = missing.len();
+                missing.retain(|&(p, i)| p != record.proc || i > record.interval);
+                before - missing.len()
+            } else if let Some(pos) =
                 missing.iter().position(|&(p, i)| p == record.proc && i == record.interval)
-            else {
-                continue;
+            {
+                missing.remove(pos);
+                1
+            } else {
+                0
             };
-            missing.remove(pos);
             if missing.is_empty() {
                 proto.page_missing.remove(&record.page);
             }
-            applicable.push(record);
+            if claimed > 0 {
+                applicable.push(record);
+            }
         }
         let applied = applicable.len() as u64;
         let apply_bytes: usize = applicable.iter().map(|r| r.diff.encoded_bytes()).sum();
@@ -1509,21 +1595,7 @@ impl Process {
             // pages that the grant's piggyback does not already carry.
             let in_hand: HashSet<(PageId, ProcId, Interval)> =
                 piggyback.iter().map(|r| (r.page, r.proc, r.interval)).collect();
-            let mut wants: BTreeMap<ProcId, Vec<(PageId, Vec<Interval>)>> = BTreeMap::new();
-            for &page in &pages {
-                let Some(missing) = proto.page_missing.get(&page) else { continue };
-                let mut by_proc: BTreeMap<ProcId, Vec<Interval>> = BTreeMap::new();
-                for &(proc, interval) in missing {
-                    if in_hand.contains(&(page, proc, interval)) {
-                        continue;
-                    }
-                    by_proc.entry(proc).or_default().push(interval);
-                }
-                for (proc, mut intervals) in by_proc {
-                    intervals.sort_unstable();
-                    wants.entry(proc).or_default().push((page, intervals));
-                }
-            }
+            let wants = wants_for_pages_locked(&proto, &pages, &in_hand);
             let prep = prep_writes_locked(&mut proto, &mut table, plan, true, &mut deferred);
             // Warm what is already consistent so the overlapped computation
             // between issue and complete runs lock-free.
@@ -1597,9 +1669,20 @@ impl Process {
     /// flushes the interval, crosses the barrier with the plan's page list
     /// piggybacked on the arrival, and then performs the *entire*
     /// post-departure protocol step — write-notice application, serving
-    /// every other processor's piggybacked request, write preparation and
-    /// TLB warming — under a single page-table-lock hold before returning
-    /// with the pending handle.
+    /// every other processor's piggybacked request, write preparation, TLB
+    /// warming and the garbage-collection trim — under a single
+    /// page-table-lock hold before returning with the pending handle.
+    ///
+    /// The exchange runs over the configured [`BarrierTopology`]: notices,
+    /// vector timestamps, applied timestamps and piggybacked fetch requests
+    /// merge up the reduction tree, and the global timestamp, GC horizon
+    /// and full request set fan back down. The flat topology is the
+    /// degenerate tree (every processor a child of the master) costed like
+    /// stock TreadMarks: interrupt-path messages and the O(n) master
+    /// serialization. Tree hops instead travel on the polled path — every
+    /// participant is blocked in the barrier with its receive pre-posted —
+    /// and charge a per-child hop service, so the critical path is
+    /// O(arity · depth).
     fn barrier_issue(&mut self, plan: &PhasePlan) -> PendingSync {
         self.flush_interval();
         self.shared.stats.barriers(1);
@@ -1613,18 +1696,20 @@ impl Process {
         let mut deferred = Vec::new();
         if n == 1 {
             // No peers, nothing to exchange: prepare and warm locally (one
-            // hold) unless the plan is trivial.
-            if !plan.is_empty() {
-                let (prep, pages_in_use) = {
-                    let mut proto = self.shared.proto.lock();
-                    let mut table = self.shared.lock_table();
-                    let prep =
-                        prep_writes_locked(&mut proto, &mut table, plan, true, &mut deferred);
-                    warm_ranges_locked(&mut self.tlb, &table, &plan.warm);
-                    (prep, table.pages_in_use())
-                };
-                self.charge_prep(&prep, pages_in_use);
-            }
+            // hold); the GC horizon is the local timestamp itself.
+            let (prep, trimmed, pages_in_use) = {
+                let mut proto = self.shared.proto.lock();
+                let mut table = self.shared.lock_table();
+                let prep = prep_writes_locked(&mut proto, &mut table, plan, true, &mut deferred);
+                warm_ranges_locked(&mut self.tlb, &table, &plan.warm);
+                proto.last_global_vt = proto.vt.clone();
+                let horizon = proto.vt.clone();
+                let trimmed = proto.gc_trim(&horizon);
+                (prep, trimmed, table.pages_in_use())
+            };
+            self.charge_prep(&prep, pages_in_use);
+            self.shared.stats.gc_trimmed_diffs(trimmed.0);
+            self.shared.stats.gc_trimmed_notices(trimmed.1);
             self.clock.advance(self.shared.cost.barrier_local_cost());
             return PendingSync {
                 pages,
@@ -1636,6 +1721,12 @@ impl Process {
                 warm: plan.warm.clone(),
             };
         }
+        let (arity, flat) = match self.barrier {
+            BarrierTopology::FlatMaster => ((n - 1).max(1), true),
+            BarrierTopology::Tree { arity } => (arity.max(1), false),
+        };
+        let children = tree_children(me, n, arity);
+        let interrupt = flat;
         let my_request = if pages.is_empty() {
             None
         } else {
@@ -1643,84 +1734,142 @@ impl Process {
         };
         let my_sync_vt = my_request.as_ref().map(|r| r.vt.clone());
 
-        // --- Exchange: arrivals to the master, departures back. ---
-        let (all_notices, sync_requests, departures_vt) = if me == MASTER {
-            let mut sync_requests: Vec<SyncFetchRequest> = my_request.into_iter().collect();
-            let mut arrivals: Vec<(ProcId, Vt)> = Vec::with_capacity(n - 1);
-            // Collect (and observe) every arrival before charging any
-            // processing cost: observation is a max and processing an
-            // addition, and only observe-all-then-advance is independent of
-            // the real thread-scheduling order the arrivals come in.
-            let mut all_notices = Vec::new();
-            for _ in 1..n {
-                let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierArrival { .. }));
-                self.clock.observe(env.arrives_at);
-                let TmkMessage::BarrierArrival { proc, vt, notices, sync_request } = env.payload
-                else {
-                    unreachable!()
-                };
-                all_notices.extend(notices);
-                self.shared.proto.lock().vt.merge(&vt);
-                if let Some(req) = sync_request {
-                    sync_requests.push(req);
-                }
-                arrivals.push((proc, vt));
+        // --- Reduction: gather the whole subtree's arrivals. Collect (and
+        // observe) every arrival before charging any processing cost:
+        // observation is a max and processing an addition, and only
+        // observe-all-then-advance is independent of the real
+        // thread-scheduling order the arrivals come in.
+        let mut sync_requests: Vec<SyncFetchRequest> = my_request.into_iter().collect();
+        let mut child_arrivals: Vec<(ProcId, Vt)> = Vec::with_capacity(children.len());
+        let mut child_notices = Vec::new();
+        let mut applied_min: Option<Vt> = None;
+        for _ in 0..children.len() {
+            let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierArrival { .. }));
+            self.clock.observe(env.arrives_at);
+            let TmkMessage::BarrierArrival { proc, vt, applied_vt, notices, sync_requests: reqs } =
+                env.payload
+            else {
+                unreachable!()
+            };
+            child_notices.extend(notices);
+            sync_requests.extend(reqs);
+            match &mut applied_min {
+                Some(min) => min.merge_min(&applied_vt),
+                None => applied_min = Some(applied_vt),
             }
-            arrivals.sort_by_key(|&(proc, _)| proc);
+            child_arrivals.push((proc, vt));
+        }
+        child_arrivals.sort_by_key(|&(proc, _)| proc);
+        if flat {
+            if me == MASTER {
+                self.clock.advance(self.shared.cost.barrier_master_cost(n));
+            }
+        } else if !children.is_empty() {
+            self.clock.advance(self.shared.cost.barrier_hop_cost(children.len()));
+        }
+
+        // --- Non-root: fold the subtree into local state under one hold,
+        // send the merged arrival up, and wait for the departure.
+        let (all_notices, sync_requests, distributed, departures_to) = if me == MASTER {
             // Serve and redistribute the piggybacked requests in processor
             // order, not arrival order: every processor then answers them
             // at deterministic virtual times, keeping runs reproducible.
             sync_requests.sort_by_key(|r| r.proc);
-            self.clock.advance(self.shared.cost.barrier_master_cost(n));
-            (all_notices, sync_requests, Some(arrivals))
+            (child_notices, sync_requests, None, child_arrivals)
         } else {
-            let (vt, notices) = {
-                let proto = self.shared.proto.lock();
-                (proto.vt.clone(), proto.notice_log.notices_after(&proto.last_global_vt))
+            let parent = (me - 1) / arity;
+            let (arrival, tally, pages_in_use) = {
+                let mut proto = self.shared.proto.lock();
+                let mut table = self.shared.lock_table();
+                let tally = apply_notices_locked(&mut proto, &mut table, &child_notices);
+                for (_, vt) in &child_arrivals {
+                    proto.vt.merge(vt);
+                }
+                let mut applied = proto.applied_vt(&table);
+                if let Some(min) = &applied_min {
+                    applied.merge_min(min);
+                }
+                let msg = TmkMessage::BarrierArrival {
+                    proc: me,
+                    vt: proto.vt.clone(),
+                    applied_vt: applied,
+                    notices: proto.notice_log.notices_after(&proto.last_global_vt),
+                    sync_requests: std::mem::take(&mut sync_requests),
+                };
+                (msg, tally, table.pages_in_use())
             };
-            let msg =
-                TmkMessage::BarrierArrival { proc: me, vt, notices, sync_request: my_request };
-            let bytes = msg.wire_bytes();
-            self.endpoint.send(NodeId(MASTER), Port::Reply, msg, bytes, self.clock.now(), true);
+            self.charge_notices(&tally, pages_in_use);
+            let bytes = arrival.wire_bytes();
+            self.endpoint.send(
+                NodeId(parent),
+                Port::Reply,
+                arrival,
+                bytes,
+                self.clock.now(),
+                interrupt,
+            );
             let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierDeparture { .. }));
             self.clock.observe(env.arrives_at);
-            let TmkMessage::BarrierDeparture { global_vt, notices, sync_requests } = env.payload
+            let TmkMessage::BarrierDeparture { global_vt, gc_horizon, notices, sync_requests } =
+                env.payload
             else {
                 unreachable!()
             };
-            {
-                let mut proto = self.shared.proto.lock();
-                proto.vt.merge(&global_vt);
-                proto.last_global_vt = global_vt;
-            }
-            (notices, sync_requests, None)
+            (notices, sync_requests, Some((global_vt, gc_horizon)), child_arrivals)
         };
 
         // --- One lock hold for the whole post-exchange protocol step. ---
-        let (tally, prep, departures, serve, scanned, materialised, responders, pages_in_use) = {
+        let (
+            tally,
+            prep,
+            departures,
+            serve,
+            scanned,
+            materialised,
+            responders,
+            trimmed,
+            pages_in_use,
+        ) = {
             let mut proto = self.shared.proto.lock();
             let mut table = self.shared.lock_table();
             let tally = apply_notices_locked(&mut proto, &mut table, &all_notices);
-            // Master only: build each client's departure against the now
-            // complete notice log.
-            let departures: Vec<(ProcId, TmkMessage)> = match &departures_vt {
-                Some(arrivals) => {
-                    let global_vt = proto.vt.clone();
-                    proto.last_global_vt = global_vt.clone();
-                    arrivals
-                        .iter()
-                        .map(|(proc, vt)| {
-                            let msg = TmkMessage::BarrierDeparture {
-                                global_vt: global_vt.clone(),
-                                notices: proto.notice_log.notices_after(vt),
-                                sync_requests: sync_requests.clone(),
-                            };
-                            (*proc, msg)
-                        })
-                        .collect()
+            // The global timestamp and GC horizon: distributed by the
+            // parent below the root; completed at the root itself, whose
+            // own applied timestamp closes the component-wise minimum over
+            // all processors.
+            let gc_horizon = match distributed {
+                Some((global_vt, gc_horizon)) => {
+                    proto.vt.merge(&global_vt);
+                    proto.last_global_vt = global_vt;
+                    gc_horizon
                 }
-                None => Vec::new(),
+                None => {
+                    for (_, vt) in &departures_to {
+                        proto.vt.merge(vt);
+                    }
+                    proto.last_global_vt = proto.vt.clone();
+                    let mut horizon = proto.applied_vt(&table);
+                    if let Some(min) = &applied_min {
+                        horizon.merge_min(min);
+                    }
+                    horizon
+                }
             };
+            // Build each child's departure against the now complete notice
+            // log: the child's subtree-merged arrival timestamp says
+            // exactly which notices the subtree still misses.
+            let departures: Vec<(ProcId, TmkMessage)> = departures_to
+                .iter()
+                .map(|(proc, vt)| {
+                    let msg = TmkMessage::BarrierDeparture {
+                        global_vt: proto.last_global_vt.clone(),
+                        gc_horizon: gc_horizon.clone(),
+                        notices: proto.notice_log.notices_after(vt),
+                        sync_requests: sync_requests.clone(),
+                    };
+                    (*proc, msg)
+                })
+                .collect();
             let (serve, scanned, materialised) =
                 serve_requests_locked(&proto, &table, &sync_requests, me);
             let responders = match &my_sync_vt {
@@ -1729,6 +1878,16 @@ impl Process {
             };
             let prep = prep_writes_locked(&mut proto, &mut table, plan, true, &mut deferred);
             warm_ranges_locked(&mut self.tlb, &table, &plan.warm);
+            // Trim last, after every request of this synchronization point
+            // has been served from the pre-trim state. The horizon can
+            // never exceed the global VT in any component (applied
+            // timestamps are bounded by real ones), which the adversarial
+            // GC tests pin.
+            debug_assert!(
+                proto.last_global_vt.covers(&gc_horizon),
+                "the GC horizon must stay at or below the global VT"
+            );
+            let trimmed = proto.gc_trim(&gc_horizon);
             (
                 tally,
                 prep,
@@ -1737,13 +1896,23 @@ impl Process {
                 scanned,
                 materialised,
                 responders,
+                trimmed,
                 table.pages_in_use(),
             )
         };
         self.charge_notices(&tally, pages_in_use);
+        self.shared.stats.gc_trimmed_diffs(trimmed.0);
+        self.shared.stats.gc_trimmed_notices(trimmed.1);
+        if !flat && !departures.is_empty() {
+            // Re-fanning the departure down costs one hop service at root
+            // and interior nodes alike, plus the send-occupancy gap for
+            // every extra child copy.
+            self.clock.advance(self.shared.cost.barrier_hop_cost(1));
+            self.clock.advance(self.shared.cost.broadcast_extra_cost(departures.len() - 1));
+        }
         for (proc, msg) in departures {
             let bytes = msg.wire_bytes();
-            self.endpoint.send(NodeId(proc), Port::Reply, msg, bytes, self.clock.now(), true);
+            self.endpoint.send(NodeId(proc), Port::Reply, msg, bytes, self.clock.now(), interrupt);
         }
         self.charge_prep(&prep, pages_in_use);
         // One pass over the diff cache answers every request of the

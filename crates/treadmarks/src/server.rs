@@ -12,7 +12,7 @@ use msgnet::{Endpoint, NodeId, Port};
 use pagedmem::PageId;
 use sp2model::VirtualTime;
 
-use crate::message::{DiffRecord, TmkMessage};
+use crate::message::{DiffRecord, PageWant, TmkMessage};
 use crate::state::{
     full_page_diff, CachedDiff, DiffEntry, NodeShared, PendingLockRequest, ProtoState,
 };
@@ -61,41 +61,73 @@ pub(crate) fn server_loop(endpoint: Arc<Endpoint<TmkMessage>>, shared: Arc<NodeS
     }
 }
 
-/// Answers a diff request: for every `(page, interval)` the requester needs,
-/// look up (or materialise) the diff and aggregate everything into a single
-/// response message.
+/// Answers a diff request: for every interval (or consolidated base) the
+/// requester needs, look up (or materialise) the diff and aggregate
+/// everything into a single response message.
+///
+/// A base request (`base_through`) is always answered with one full page —
+/// the requester asks this way exactly for intervals at or below its GC
+/// horizon, so the response's byte count is the same whether or not this
+/// node's own trim has already folded them away, keeping virtual time
+/// independent of the real-time race between serving and trimming.
 fn handle_diff_request(
     endpoint: &Endpoint<TmkMessage>,
     shared: &NodeShared,
     req_id: u64,
     requester: ProcId,
-    wants: &[(PageId, Vec<Interval>)],
+    wants: &[PageWant],
     arrived_at: VirtualTime,
 ) {
     let proto = shared.proto.lock();
     let table = shared.lock_table();
     let mut diffs = Vec::new();
     let mut materialised_pages = 0;
-    for (page, intervals) in wants {
-        for &interval in intervals {
-            let cached =
-                proto.diff_cache.get(page).and_then(|by_interval| by_interval.get(&interval));
-            let (diff, rank) = match cached {
-                Some(CachedDiff { entry: DiffEntry::Delta(diff), rank }) => (diff.clone(), *rank),
+    for want in wants {
+        let page = want.page;
+        let cached = |interval: Interval| {
+            proto.diff_cache.get(&page).and_then(|by_interval| by_interval.get(&interval))
+        };
+        if let Some(through) = want.base_through {
+            // The base record claims every missing interval of this node
+            // at or below `through` at the requester, so one answers them
+            // all, and it applies before every interval diff of the page
+            // there (see `DiffRecord::base`). The rank: the trimmed base's
+            // if the trim already folded the interval, the cached entry's
+            // otherwise.
+            let rank = match proto.trimmed.get(&page) {
+                Some(base) if base.through >= through => base.rank,
+                _ => cached(through).map_or_else(|| proto.vt.sum(), |c| c.rank),
+            };
+            materialised_pages += 1;
+            diffs.push(DiffRecord {
+                page,
+                proc: proto.me,
+                interval: through,
+                rank,
+                base: true,
+                diff: full_page_diff(&table, page),
+            });
+        }
+        for &interval in &want.intervals {
+            let (diff, rank, base) = match cached(interval) {
+                Some(CachedDiff { entry: DiffEntry::Delta(diff), rank }) => {
+                    (diff.clone(), *rank, false)
+                }
                 Some(CachedDiff { entry: DiffEntry::FullPage, rank }) => {
                     materialised_pages += 1;
-                    (full_page_diff(&table, *page), *rank)
+                    (full_page_diff(&table, page), *rank, false)
                 }
-                // The diff is gone or was never recorded (e.g. a notice
-                // relayed for an interval we already folded away); fall back
-                // to the current page contents, which is always at least as
-                // new as the requested interval — rank it accordingly.
+                // The diff was never recorded (e.g. a notice relayed for an
+                // interval that never produced one); fall back to the
+                // current page contents, which is always at least as new as
+                // the requested interval — serve it base-style so owed
+                // interval diffs still apply on top of it.
                 None => {
                     materialised_pages += 1;
-                    (full_page_diff(&table, *page), proto.vt.sum())
+                    (full_page_diff(&table, page), proto.vt.sum(), true)
                 }
             };
-            diffs.push(DiffRecord { page: *page, proc: proto.me, interval, rank, diff });
+            diffs.push(DiffRecord { page, proc: proto.me, interval, rank, base, diff });
         }
     }
     drop(table);

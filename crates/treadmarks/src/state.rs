@@ -37,6 +37,25 @@ pub(crate) struct CachedDiff {
     pub rank: u64,
 }
 
+/// What remains of a page's garbage-collected diff history: requests for
+/// any interval at or below `through` are answered with a *base* — a full
+/// copy of the node's current page at `rank` (the rank of the newest
+/// trimmed interval), flagged so the requester applies it before the
+/// page's interval diffs. The base fully covers this node's *own* trimmed
+/// writes; words it lacks (a concurrent writer's that this node never
+/// applied) or carries ahead of the requester's entitlement are corrected
+/// by the interval diffs applied on top — the concurrent writer's delta is
+/// necessarily still cached, because its unapplied notice on this node's
+/// mapped frame pins that writer's horizon component (see DESIGN.md §5 and
+/// [`DiffRecord::base`](crate::message::DiffRecord)).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TrimmedBase {
+    /// The newest interval folded into the base.
+    pub through: Interval,
+    /// The happens-before rank the base is served at.
+    pub rank: u64,
+}
+
 /// A lock-acquire request queued at the current holder until it releases.
 #[derive(Debug, Clone)]
 pub(crate) struct PendingLockRequest {
@@ -71,10 +90,21 @@ pub(crate) struct ProtoState {
     /// the merge-scan cost is charged only for pages this node actually
     /// modified (see `diffs_for_pages_after_counted`).
     pub diff_cache: HashMap<PageId, BTreeMap<Interval, CachedDiff>>,
+    /// Per page, the consolidated remainder of diffs dropped by the GC
+    /// horizon. At most one entry per page ever, which is what bounds the
+    /// protocol state of long runs.
+    pub trimmed: HashMap<PageId, TrimmedBase>,
     /// Pages of the current interval written under `WRITE_ALL` (no twin).
     pub write_all_pages: HashSet<PageId>,
     /// The global vector timestamp distributed at the last barrier departure.
     pub last_global_vt: Vt,
+    /// The garbage-collection horizon distributed at the last barrier
+    /// departure (component-wise minimum of every processor's applied
+    /// timestamp): own diff-cache entries at or below its component for
+    /// this node, and notice-log records covered by it, have been dropped.
+    /// Monotone, and always covered by
+    /// [`last_global_vt`](Self::last_global_vt).
+    pub gc_horizon: Vt,
     /// Manager role: the last processor each managed lock was granted to.
     pub lock_last_holder: HashMap<LockId, ProcId>,
     /// Locks currently held by this node's application.
@@ -108,8 +138,10 @@ impl ProtoState {
             notice_log: NoticeLog::new(nprocs),
             page_missing: HashMap::new(),
             diff_cache: HashMap::new(),
+            trimmed: HashMap::new(),
             write_all_pages: HashSet::new(),
             last_global_vt: Vt::new(nprocs),
+            gc_horizon: Vt::new(nprocs),
             lock_last_holder: HashMap::new(),
             held_locks: HashSet::new(),
             pending_acquires: HashSet::new(),
@@ -156,9 +188,16 @@ impl ProtoState {
         let mut materialised = 0usize;
         let mut examined = Vec::new();
         for &page in pages {
-            // Intervals this node created for the page and the requester has
-            // not yet incorporated.
+            // Intervals this node still caches individually and the
+            // requester has not yet incorporated. Garbage-collected
+            // intervals can never be asked for here: an advertised
+            // timestamp is never below the horizon in any component (the
+            // requester's own applied timestamp participated in the
+            // minimum), so `seen` always covers a page's trimmed range —
+            // consolidated bases travel only on the explicit
+            // `DiffRequest` path.
             let Some(intervals) = self.diff_cache.get(&page) else { continue };
+            debug_assert!(self.trimmed.get(&page).is_none_or(|base| base.through <= seen));
             examined.push(page);
             for (&interval, cached) in intervals.range(seen + 1..) {
                 let diff = match &cached.entry {
@@ -168,7 +207,14 @@ impl ProtoState {
                         full_page_diff(table, page)
                     }
                 };
-                out.push(DiffRecord { page, proc: self.me, interval, rank: cached.rank, diff });
+                out.push(DiffRecord {
+                    page,
+                    proc: self.me,
+                    interval,
+                    rank: cached.rank,
+                    base: false,
+                    diff,
+                });
             }
         }
         out.sort_by_key(|r| (r.page, r.interval));
@@ -180,14 +226,72 @@ impl ProtoState {
     pub(crate) fn notices_for(&self, vt: &Vt) -> Vec<crate::notice::WriteNotice> {
         self.notice_log.notices_after(vt)
     }
+
+    /// This node's *applied* timestamp: its vector timestamp, lowered to
+    /// just below every write notice it has seen but whose diff it has not
+    /// applied to a page it holds a frame for.
+    ///
+    /// Missing entries of **unmapped** pages do not lower the result: this
+    /// node has no copy such a diff could complete, and if it first-touches
+    /// the page after the owner garbage-collected the interval, the owner's
+    /// consolidated full-page base (see [`TrimmedBase`]) is a complete
+    /// answer — any writer whose words that base would lack necessarily
+    /// holds a frame for the page, so *its* unapplied entries pin the
+    /// horizon instead.
+    pub(crate) fn applied_vt(&self, table: &PageTable) -> Vt {
+        let mut vt = self.vt.clone();
+        for (&page, missing) in &self.page_missing {
+            if !table.is_mapped(page) {
+                continue;
+            }
+            for &(proc, interval) in missing {
+                vt.limit(proc, interval.saturating_sub(1));
+            }
+        }
+        vt
+    }
+
+    /// Drops own diff-cache entries at or below `horizon`'s component for
+    /// this node (folding each page's dropped entries into its consolidated
+    /// [`TrimmedBase`]) and notice-log records covered by `horizon`.
+    /// Returns `(diff entries, notice records)` removed. Monotone and
+    /// idempotent.
+    pub(crate) fn gc_trim(&mut self, horizon: &Vt) -> (u64, u64) {
+        self.gc_horizon.merge(horizon);
+        let own = self.gc_horizon.get(self.me);
+        let mut diffs = 0u64;
+        if own > 0 {
+            let trimmed = &mut self.trimmed;
+            self.diff_cache.retain(|&page, intervals| {
+                let keep = intervals.split_off(&(own + 1));
+                if let Some((&through, _)) = intervals.iter().next_back() {
+                    diffs += intervals.len() as u64;
+                    let rank =
+                        intervals.values().map(|c| c.rank).max().expect("trimmed set is non-empty");
+                    let base = trimmed.entry(page).or_insert(TrimmedBase { through, rank });
+                    base.through = base.through.max(through);
+                    base.rank = base.rank.max(rank);
+                }
+                *intervals = keep;
+                !intervals.is_empty()
+            });
+        }
+        let covered = self.gc_horizon.clone();
+        let notices = self.notice_log.trim_covered(&covered) as u64;
+        (diffs, notices)
+    }
 }
+
+/// The shared all-zeros page: the source for full-page diffs of pages this
+/// node never materialised, avoiding a fresh 4 KiB allocation per miss.
+static ZERO_PAGE: [u8; pagedmem::PAGE_SIZE] = [0u8; pagedmem::PAGE_SIZE];
 
 /// Creates a full-page diff from the node's current copy of `page`.
 pub(crate) fn full_page_diff(table: &PageTable, page: PageId) -> Diff {
     match table.frame(page) {
         Ok(frame) => Diff::full_page(frame.lock().page.as_slice()),
         // The page was never materialised locally (it is still all zeros).
-        Err(_) => Diff::full_page(&vec![0u8; pagedmem::PAGE_SIZE]),
+        Err(_) => Diff::full_page(&ZERO_PAGE),
     }
 }
 

@@ -77,6 +77,27 @@ impl Vt {
         }
     }
 
+    /// Component-wise minimum with another timestamp.
+    ///
+    /// Used to aggregate the *applied* timestamps of all processors at a
+    /// barrier: the result covers `(proc, interval)` only if **every**
+    /// processor has incorporated (or provably never needs) that interval's
+    /// modifications — the garbage-collection horizon of the diff caches.
+    pub fn merge_min(&mut self, other: &Vt) {
+        assert_eq!(self.0.len(), other.0.len(), "vector timestamps must have the same width");
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            if *theirs < *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// The smallest component — the scalar horizon below which every
+    /// processor's knowledge is complete in every component.
+    pub fn min_component(&self) -> Interval {
+        self.0.iter().copied().min().unwrap_or(0)
+    }
+
     /// Whether this timestamp covers (dominates or equals) `other` in every
     /// component.
     pub fn covers(&self, other: &Vt) -> bool {
@@ -190,5 +211,23 @@ mod tests {
     fn merging_mismatched_widths_panics() {
         let mut a = Vt::new(2);
         a.merge(&Vt::new(3));
+    }
+
+    #[test]
+    fn merge_min_takes_componentwise_min() {
+        let mut a = Vt::new(3);
+        a.advance(0, 2);
+        a.advance(1, 4);
+        a.advance(2, 7);
+        let mut b = Vt::new(3);
+        b.advance(0, 5);
+        b.advance(1, 1);
+        b.advance(2, 7);
+        a.merge_min(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 7);
+        assert_eq!(a.min_component(), 1);
+        assert_eq!(Vt::new(2).min_component(), 0);
     }
 }

@@ -1,0 +1,97 @@
+//! Tree-structured barrier tests: the master's message count stays
+//! constant in the cluster size, every topology computes the same result,
+//! and virtual time stays deterministic on the tree path.
+
+use pagedmem::PAGE_SIZE;
+use sp2model::CostModel;
+use treadmarks::{BarrierTopology, Dsm, DsmConfig, Process, SyncOp};
+
+const ELEMS: usize = PAGE_SIZE / 8;
+
+fn config(n: usize, topology: BarrierTopology) -> DsmConfig {
+    DsmConfig::new(n).with_cost_model(CostModel::free()).with_barrier(topology)
+}
+
+#[test]
+fn tree_master_exchanges_a_constant_number_of_messages_per_barrier() {
+    const BARRIERS: usize = 10;
+    let run_with = |topology| {
+        Dsm::run(config(8, topology), |p| {
+            for _ in 0..BARRIERS {
+                p.barrier();
+            }
+        })
+    };
+    let tree = run_with(BarrierTopology::Tree { arity: 2 });
+    // Binary tree over 8 processors: the master talks only to its two
+    // children — two departures sent (and two arrivals received) per
+    // barrier, independent of the cluster size.
+    assert_eq!(tree.stats.nodes()[0].messages_sent as usize, 2 * BARRIERS);
+    // An interior node sends one merged arrival up and fans two departures
+    // down; a leaf sends exactly its arrival.
+    assert_eq!(tree.stats.nodes()[1].messages_sent as usize, 3 * BARRIERS);
+    assert_eq!(tree.stats.nodes()[7].messages_sent as usize, BARRIERS);
+
+    let flat = run_with(BarrierTopology::FlatMaster);
+    assert_eq!(
+        flat.stats.nodes()[0].messages_sent as usize,
+        7 * BARRIERS,
+        "the flat master still funnels every departure"
+    );
+    assert!(tree.stats.nodes()[0].messages_sent < flat.stats.nodes()[0].messages_sent);
+    // The tree moves the same total traffic — it just never funnels it
+    // through one node.
+    assert_eq!(tree.stats.total().messages_sent, flat.stats.total().messages_sent);
+}
+
+/// A three-epoch neighbour exchange with the fetch piggybacked on the
+/// barrier, so arrivals carry sync requests that must merge up the tree
+/// and fan back down intact.
+fn exchange_kernel(p: &mut Process) -> u64 {
+    let n = p.nprocs();
+    let me = p.proc_id();
+    let a = p.alloc_array::<u64>(n * ELEMS);
+    let mut acc = 0u64;
+    for epoch in 0..3u64 {
+        for i in (0..ELEMS).step_by(7) {
+            p.set(&a, me * ELEMS + i, epoch * 1000 + (me * 31 + i) as u64);
+        }
+        let right = (me + 1) % n;
+        let neighbour = a.range_of(right * ELEMS, (right + 1) * ELEMS);
+        p.fetch_diffs_w_sync(SyncOp::Barrier, &[neighbour]);
+        for i in (0..ELEMS).step_by(13) {
+            acc = acc.wrapping_add(p.get(&a, right * ELEMS + i));
+        }
+        p.barrier();
+    }
+    acc
+}
+
+#[test]
+fn every_topology_computes_the_same_exchange() {
+    let reference = Dsm::run(config(8, BarrierTopology::FlatMaster), exchange_kernel);
+    for arity in [1, 2, 3, 7, 16] {
+        let tree = Dsm::run(config(8, BarrierTopology::Tree { arity }), exchange_kernel);
+        assert_eq!(
+            tree.results, reference.results,
+            "arity-{arity} tree must compute what the flat barrier computes"
+        );
+    }
+}
+
+#[test]
+fn tree_barrier_virtual_time_is_deterministic() {
+    let run = |_: usize| {
+        Dsm::run(
+            DsmConfig::new(8).with_cost_model(CostModel::sp2()).with_barrier_arity(2),
+            exchange_kernel,
+        )
+    };
+    let a = run(0);
+    let b = run(1);
+    assert_eq!(a.results, b.results);
+    assert_eq!(
+        a.elapsed, b.elapsed,
+        "two identical tree-barrier runs must report identical virtual clocks"
+    );
+}

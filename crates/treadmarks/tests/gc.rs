@@ -1,0 +1,257 @@
+//! Garbage-collection horizon tests.
+//!
+//! The barrier distributes the component-wise minimum of every processor's
+//! *applied* timestamp; each node trims its own diff cache and notice log
+//! at that horizon. These tests pin the two sides of the contract:
+//!
+//! * **Safety** — a lagging requester is still owed every diff it has a
+//!   notice for. A processor holding a frame whose missing diffs it has not
+//!   applied pins the producer's component, so concurrent writers protect
+//!   each other's history; a processor that never mapped the page is
+//!   answered by the producer's consolidated full-page base.
+//! * **Liveness** — protocol state no longer grows monotonically: long
+//!   runs keep a bounded diff cache and notice log.
+
+use pagedmem::PAGE_SIZE;
+use sp2model::CostModel;
+use treadmarks::{BarrierTopology, Dsm, DsmConfig, LockId, Process, SyncOp};
+
+const ELEMS: usize = PAGE_SIZE / 8;
+
+fn free(n: usize) -> DsmConfig {
+    DsmConfig::new(n).with_cost_model(CostModel::free())
+}
+
+/// Unrelated single-writer traffic whose diffs the horizon can collect:
+/// every processor rewrites its own scratch page and the next processor
+/// reads (and thereby applies) it.
+fn scratch_epoch(p: &mut Process, scratch: &treadmarks::SharedArray<u64>, epoch: usize) {
+    let n = p.nprocs();
+    let me = p.proc_id();
+    for i in (0..ELEMS).step_by(32) {
+        p.set(scratch, me * ELEMS + i, (epoch * 17 + i) as u64);
+    }
+    p.barrier();
+    let prev = (me + n - 1) % n;
+    let mut sink = 0u64;
+    for i in (0..ELEMS).step_by(32) {
+        sink = sink.wrapping_add(p.get(scratch, prev * ELEMS + i));
+    }
+    std::hint::black_box(sink);
+    p.barrier();
+}
+
+#[test]
+fn lagging_lock_requester_still_receives_concurrent_writers_diffs() {
+    // The adversarial case for a naive "trim at the global-VT minimum"
+    // rule: processors 0 and 1 write disjoint halves of one page in epoch
+    // 1, then many barriers pass with unrelated (collectable) traffic, and
+    // only then does processor 3 acquire a lock and fetch the page. Had
+    // either writer trimmed its epoch-1 delta, it could only answer with
+    // its own current copy — which lacks the *other* writer's half. The
+    // applied-timestamp horizon forbids exactly that: each writer still
+    // holds the other's notice unapplied on a mapped frame, pinning both
+    // components, while the bystanders' components advance and their
+    // history is collected.
+    const LOCK: LockId = 5;
+    const EPOCHS: usize = 8;
+    let half = ELEMS / 2;
+    let run = Dsm::run(free(4), move |p| {
+        let me = p.proc_id();
+        let shared = p.alloc_array::<u64>(ELEMS);
+        let scratch = p.alloc_array::<u64>(p.nprocs() * ELEMS);
+        if me == 0 {
+            for i in 0..half {
+                p.set(&shared, i, 1000 + i as u64);
+            }
+        }
+        if me == 1 {
+            for i in half..ELEMS {
+                p.set(&shared, i, 2000 + i as u64);
+            }
+        }
+        p.barrier();
+        for epoch in 0..EPOCHS {
+            scratch_epoch(p, &scratch, epoch);
+        }
+        let horizon = p.gc_horizon();
+        assert!(horizon.get(2) > 0, "a bystander's component must advance: {horizon}");
+        assert!(horizon.get(3) > 0, "a bystander's component must advance: {horizon}");
+        assert_eq!(horizon.get(0), 0, "writer 0 is pinned by writer 1's unapplied diff");
+        assert_eq!(horizon.get(1), 0, "writer 1 is pinned by writer 0's unapplied diff");
+        assert_eq!(horizon.min_component(), 0, "the scalar floor stays below what is still owed");
+        if me == 3 {
+            p.fetch_diffs_w_sync(SyncOp::Lock(LOCK), &[shared.full_range()]);
+            let front = p.get(&shared, 3);
+            let back = p.get(&shared, half + 3);
+            p.lock_release(LOCK);
+            (front, back)
+        } else {
+            (0, 0)
+        }
+    });
+    assert_eq!(
+        run.results[3],
+        (1003, 2000 + (half + 3) as u64),
+        "the lagging requester must see both concurrent writers' halves"
+    );
+    assert!(
+        run.stats.total().gc_trimmed_diffs > 0,
+        "the horizon must have collected the bystanders' scratch history"
+    );
+}
+
+#[test]
+fn garbage_collected_history_is_served_as_a_consolidated_base() {
+    // Single-writer history *is* collectable once every frame-holder has
+    // applied it — here nobody but the writer ever maps the page, so its
+    // epoch-1 delta passes the horizon and is folded into the consolidated
+    // base. A latecomer's first touch must then be answered with one full
+    // page that claims every folded interval.
+    const EPOCHS: usize = 8;
+    let quarter = ELEMS / 4;
+    let run = Dsm::run(free(4), move |p| {
+        let me = p.proc_id();
+        let shared = p.alloc_array::<u64>(ELEMS);
+        let scratch = p.alloc_array::<u64>(p.nprocs() * ELEMS);
+        if me == 0 {
+            // Only a quarter of the page: a surviving delta would be a
+            // quarter-page diff, so the full-page fetch count below can
+            // only come from the consolidated base.
+            for i in 0..quarter {
+                p.set(&shared, i, 7000 + i as u64);
+            }
+        }
+        p.barrier();
+        for epoch in 0..EPOCHS {
+            scratch_epoch(p, &scratch, epoch);
+        }
+        let horizon = p.gc_horizon();
+        assert!(
+            horizon.get(0) >= 1,
+            "nobody holds the single writer's page: its history must pass the horizon: {horizon}"
+        );
+        if me == 2 {
+            let before = p.stats().snapshot().full_page_fetches;
+            let inside = p.get(&shared, 5);
+            let outside = p.get(&shared, quarter + 5);
+            let fetched_full = p.stats().snapshot().full_page_fetches - before;
+            assert!(fetched_full >= 1, "the trimmed interval must arrive as a full-page base");
+            (inside, outside)
+        } else {
+            (0, 0)
+        }
+    });
+    assert_eq!(run.results[2], (7005, 0), "base contents must match the writer's history");
+    assert!(run.stats.total().gc_trimmed_diffs > 0, "the writer's delta must have been trimmed");
+}
+
+#[test]
+fn a_base_never_overwrites_a_concurrent_writers_surviving_delta() {
+    // The asymmetric variant: processors 0 and 1 write disjoint halves of
+    // one page; processor 0 then *reads* processor 1's half (applying its
+    // delta), while processor 1 never reads processor 0's. Processor 1's
+    // horizon component therefore advances — its delta is folded into a
+    // consolidated base whose bytes lack processor 0's half — while
+    // processor 0 stays pinned and its delta survives. A latecomer gets
+    // the base from 1 and the delta from 0; the base must apply *first*
+    // (it is flagged, not rank-ordered), or the latecomer would read
+    // zeros where processor 0 wrote.
+    const EPOCHS: usize = 8;
+    let half = ELEMS / 2;
+    let run = Dsm::run(free(4), move |p| {
+        let me = p.proc_id();
+        let shared = p.alloc_array::<u64>(ELEMS);
+        let scratch = p.alloc_array::<u64>(p.nprocs() * ELEMS);
+        if me == 0 {
+            for i in half..ELEMS {
+                p.set(&shared, i, 2000 + i as u64);
+            }
+        }
+        if me == 1 {
+            for i in 0..half {
+                p.set(&shared, i, 1000 + i as u64);
+            }
+        }
+        p.barrier();
+        if me == 0 {
+            let mut sink = 0u64;
+            for i in 0..half {
+                sink = sink.wrapping_add(p.get(&shared, i));
+            }
+            std::hint::black_box(sink);
+        }
+        p.barrier();
+        for epoch in 0..EPOCHS {
+            scratch_epoch(p, &scratch, epoch);
+        }
+        let horizon = p.gc_horizon();
+        assert_eq!(horizon.get(0), 0, "writer 0 stays pinned by writer 1's unapplied diff");
+        assert!(horizon.get(1) > 0, "writer 1's history is collectable: {horizon}");
+        if me == 3 {
+            (p.get(&shared, 3), p.get(&shared, half + 3))
+        } else {
+            (0, 0)
+        }
+    });
+    assert_eq!(
+        run.results[3],
+        (1003, 2000 + (half + 3) as u64),
+        "the surviving delta must win over the consolidated base's stale bytes"
+    );
+}
+
+#[test]
+fn diff_cache_and_notice_log_stay_bounded_across_iterations() {
+    // Before the horizon existed every interval's diff was retained
+    // forever: a run of N iterations kept O(N) entries. With every
+    // processor applying what it is owed each epoch, the cache must now
+    // hold only the last couple of epochs regardless of N.
+    const ITERS: usize = 40;
+    for topology in [BarrierTopology::Tree { arity: 2 }, BarrierTopology::FlatMaster] {
+        let run = Dsm::run(free(4).with_barrier(topology), |p| {
+            let n = p.nprocs();
+            let me = p.proc_id();
+            let grid = p.alloc_array::<u64>(n * ELEMS);
+            let mut early = (0, 0);
+            let mut late = (0, 0);
+            for it in 0..ITERS {
+                for i in (0..ELEMS).step_by(16) {
+                    p.set(&grid, me * ELEMS + i, (it + i) as u64);
+                }
+                p.barrier();
+                let mut sink = 0u64;
+                for other in (0..n).filter(|&o| o != me) {
+                    sink = sink.wrapping_add(p.get(&grid, other * ELEMS));
+                }
+                std::hint::black_box(sink);
+                p.barrier();
+                if it == 9 {
+                    early = (p.diff_cache_entries(), p.notice_log_records());
+                }
+                if it == ITERS - 1 {
+                    late = (p.diff_cache_entries(), p.notice_log_records());
+                }
+            }
+            (early, late)
+        });
+        for &((early_diffs, early_notices), (late_diffs, late_notices)) in &run.results {
+            assert!(
+                late_diffs <= early_diffs,
+                "diff cache must not grow with iterations ({topology:?}): \
+                 {early_diffs} at iter 10 vs {late_diffs} at iter {ITERS}"
+            );
+            assert!(late_diffs <= 6, "diff cache must stay small ({topology:?}): {late_diffs}");
+            assert!(
+                late_notices <= early_notices + 4,
+                "notice log must not grow with iterations ({topology:?}): \
+                 {early_notices} -> {late_notices}"
+            );
+        }
+        let trimmed = run.stats.total().gc_trimmed_diffs;
+        assert!(
+            trimmed as usize >= ITERS,
+            "steady-state trimming must keep pace with production ({topology:?}): {trimmed}"
+        );
+    }
+}
