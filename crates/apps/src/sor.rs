@@ -14,6 +14,7 @@ use ctrt::{
     validate, validate_w_sync_complete, validate_w_sync_issue, warm_sections, Access, Push,
     RegularSection, SyncOp,
 };
+use rsdcomp::{ArrayDecl, ColSpan, Node, Phase, Program, SectionAccess};
 use treadmarks::{Process, SharedMatrix};
 
 use crate::{col_block, col_elems, seed, split_columns, GridConfig, Variant};
@@ -107,6 +108,9 @@ pub fn sor(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
     let nprocs = p.nprocs();
     assert!(rows >= 2 && cols >= 2 * nprocs, "each processor needs at least two columns");
     let m = p.alloc_matrix::<f64>(rows, cols);
+    if variant == Variant::Compiled {
+        return sor_compiled(p, cfg, &m);
+    }
     let me = p.proc_id();
     let mine = col_block(cols, nprocs, me);
     let (lo, hi) = (mine.start, mine.end);
@@ -138,6 +142,7 @@ pub fn sor(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
                 p.set_slice(m.array(), col_elems(&m, j), &colbuf);
             }
         }
+        Variant::Compiled => unreachable!("the compiled form returned above"),
     }
     match variant {
         Variant::TreadMarks => p.barrier(),
@@ -145,6 +150,7 @@ pub fn sor(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
         // half-sweep's `validate_w_sync_issue` *is* the phase boundary.
         Variant::Validate => {}
         Variant::Push => exchange_boundaries(p, &m, lo, hi),
+        Variant::Compiled => unreachable!("the compiled form returned above"),
     }
 
     // The sections of one half-sweep: the columns flanking the update block
@@ -214,6 +220,7 @@ pub fn sor(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
                     relax_cols(p, &m, update.clone(), colour, &mut bufs);
                     exchange_boundaries(p, &m, lo, hi);
                 }
+                Variant::Compiled => unreachable!("the compiled form returned above"),
             }
         }
     }
@@ -226,6 +233,92 @@ pub fn sor(p: &mut Process, cfg: &GridConfig, variant: Variant) -> f64 {
     let mut sum = 0.0;
     for j in mine {
         p.get_slice(m.array(), col_elems(&m, j), &mut colbuf);
+        sum += colbuf.iter().sum::<f64>();
+    }
+    sum
+}
+
+/// The red-black SOR kernel as a loop-nest IR: an initialisation phase
+/// (every processor fully overwrites its own block) followed by `iters`
+/// iterations of two half-sweeps, each reading the halo-extended update
+/// block and overwriting the update block in place (`READ&WRITE_ALL`).
+///
+/// The analyzer classifies the half-sweep boundaries as eliminable
+/// nearest-neighbour exchanges — the in-place `ReadWriteAll` keeps the
+/// pages DSM-managed, so only the barrier goes, replaced by the merged
+/// data+sync handshake — and the GC policy retains the loop-back boundary
+/// as the one real barrier per iteration.
+pub fn sor_program(m: &SharedMatrix<f64>, iters: usize) -> Program {
+    let grid = ArrayDecl::of_matrix("grid", m);
+    let half_sweep = |name| {
+        Phase::new(
+            name,
+            vec![
+                SectionAccess::new(0, ColSpan::UpdateHalo(1), Access::Read),
+                SectionAccess::new(0, ColSpan::UpdateBlock, Access::ReadWriteAll),
+            ],
+        )
+    };
+    Program {
+        arrays: vec![grid],
+        nodes: vec![
+            Node::Phase(Phase::new(
+                "init",
+                vec![SectionAccess::new(0, ColSpan::OwnBlock, Access::WriteAll)],
+            )),
+            Node::Repeat { times: iters, body: vec![half_sweep("red"), half_sweep("black")] },
+        ],
+    }
+}
+
+/// Runs SOR from the plan `rsdcomp::compile` generates for [`sor_program`]:
+/// the application supplies only the numeric bodies (seeding and
+/// [`relax_cols`]); every synchronization, fetch, push, write-preparation
+/// and warm decision is the compiler's.
+fn sor_compiled(p: &mut Process, cfg: &GridConfig, m: &SharedMatrix<f64>) -> f64 {
+    let GridConfig { rows, cols, iters } = *cfg;
+    let nprocs = p.nprocs();
+    let me = p.proc_id();
+    let program = sor_program(m, iters);
+    let kernel = rsdcomp::compile(&program, nprocs);
+    let plan = kernel.plan_for(me).clone();
+    let phases = program.phases();
+
+    let mine = col_block(cols, nprocs, me);
+    let update = mine.start.max(1)..mine.end.min(cols - 1);
+    let (interior, left_edge, right_edge) = split_columns(&update, mine.start > 0, mine.end < cols);
+    let mut bufs = ColBufs::new(rows);
+    let mut colbuf = vec![0.0f64; rows];
+
+    for step in &plan.steps {
+        // Issue the generated entry op; a pending split-phase sync
+        // overlaps the interior columns, exactly like the hand-written
+        // Validate form.
+        let issued = rsdcomp::exec::issue(p, &step.entry);
+        match phases[step.phase].name {
+            "init" => {
+                rsdcomp::exec::complete(p, issued);
+                for j in mine.clone() {
+                    for (i, slot) in colbuf.iter_mut().enumerate() {
+                        *slot = seed(i, j);
+                    }
+                    p.set_slice(m.array(), col_elems(m, j), &colbuf);
+                }
+            }
+            name @ ("red" | "black") => {
+                let colour = usize::from(name == "black");
+                relax_cols(p, m, interior.clone(), colour, &mut bufs);
+                rsdcomp::exec::complete(p, issued);
+                relax_cols(p, m, left_edge.clone(), colour, &mut bufs);
+                relax_cols(p, m, right_edge.clone(), colour, &mut bufs);
+            }
+            other => unreachable!("unknown phase {other:?}"),
+        }
+    }
+    rsdcomp::exec::run_boundary(p, &plan.exit);
+    let mut sum = 0.0;
+    for j in mine {
+        p.get_slice(m.array(), col_elems(m, j), &mut colbuf);
         sum += colbuf.iter().sum::<f64>();
     }
     sum

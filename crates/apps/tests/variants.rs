@@ -24,23 +24,28 @@ fn assert_variants_agree(
     app: fn(&mut treadmarks::Process, &GridConfig, Variant) -> f64,
     cfg: GridConfig,
     nprocs: usize,
-) -> [DsmRun<f64>; 3] {
+) -> [DsmRun<f64>; 4] {
     let tmk = run_app(app, cfg, nprocs, Variant::TreadMarks);
     let val = run_app(app, cfg, nprocs, Variant::Validate);
     let push = run_app(app, cfg, nprocs, Variant::Push);
+    let compiled = run_app(app, cfg, nprocs, Variant::Compiled);
     assert_eq!(tmk.results, val.results, "Validate must reproduce the baseline bit-for-bit");
     assert_eq!(tmk.results, push.results, "Push must reproduce the baseline bit-for-bit");
+    assert_eq!(
+        tmk.results, compiled.results,
+        "the generated plan must reproduce the baseline bit-for-bit"
+    );
     assert!(
         tmk.results.iter().any(|&s| s != 0.0),
         "checksums must be non-trivial for the comparison to mean anything"
     );
-    [tmk, val, push]
+    [tmk, val, push, compiled]
 }
 
 #[test]
 fn jacobi_variants_agree_and_reduce_traffic() {
     let cfg = GridConfig { rows: 64, cols: 8, iters: 3 };
-    let [tmk, val, push] = assert_variants_agree(jacobi, cfg, 4);
+    let [tmk, val, push, _] = assert_variants_agree(jacobi, cfg, 4);
     let (t, v, u) = (totals(&tmk), totals(&val), totals(&push));
     assert!(
         v.messages_sent < t.messages_sent,
@@ -56,7 +61,7 @@ fn jacobi_variants_agree_and_reduce_traffic() {
 #[test]
 fn sor_variants_agree_and_reduce_traffic() {
     let cfg = GridConfig { rows: 64, cols: 8, iters: 3 };
-    let [tmk, val, push] = assert_variants_agree(sor, cfg, 4);
+    let [tmk, val, push, _] = assert_variants_agree(sor, cfg, 4);
     let (t, v, u) = (totals(&tmk), totals(&val), totals(&push));
     assert!(v.messages_sent < t.messages_sent);
     assert!(u.messages_sent < v.messages_sent);
@@ -68,7 +73,7 @@ fn jacobi_page_aligned_columns_take_the_write_all_fast_path() {
     // Validate variant's WRITE_ALL sections fully cover their pages and the
     // Push variant runs twin-free after initialisation.
     let cfg = GridConfig { rows: 512, cols: 8, iters: 2 };
-    let [_, _, push] = assert_variants_agree(jacobi, cfg, 4);
+    let [_, _, push, _] = assert_variants_agree(jacobi, cfg, 4);
     // Only the fixed global-boundary columns (outside the WRITE_ALL
     // sections) twin, once each at initialisation: two edge processors x
     // two grids. The sweeps themselves never twin.
@@ -77,6 +82,44 @@ fn jacobi_page_aligned_columns_take_the_write_all_fast_path() {
         "page-aligned WRITE_ALL push sweeps must not twin: {} twins",
         totals(&push).twins_created
     );
+}
+
+#[test]
+fn compiled_checksums_match_the_baseline_across_cluster_sizes() {
+    // The acceptance criterion: the generated plans reproduce the
+    // TreadMarks checksums bit-for-bit at nprocs in {2, 4, 8}.
+    let cfg = GridConfig { rows: 64, cols: 16, iters: 3 };
+    for nprocs in [2, 4, 8] {
+        for app in [jacobi as fn(&mut treadmarks::Process, &GridConfig, Variant) -> f64, sor] {
+            let tmk = run_app(app, cfg, nprocs, Variant::TreadMarks);
+            let compiled = run_app(app, cfg, nprocs, Variant::Compiled);
+            assert_eq!(
+                tmk.results, compiled.results,
+                "compiled checksums must match at {nprocs} procs"
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_sor_eliminates_barriers_and_compiled_jacobi_runs_push_only() {
+    let cfg = GridConfig { rows: 64, cols: 16, iters: 3 };
+    let sor_run = run_app(sor, cfg, 4, Variant::Compiled);
+    let t = totals(&sor_run);
+    // One real barrier survives per iteration boundary (the GC heartbeat);
+    // the half-sweep barrier and the (demoted) init boundary are
+    // eliminated: per processor, `iters + 1` eliminated boundaries and
+    // `iters - 1` real barriers.
+    assert_eq!(t.barriers_eliminated, 4 * (cfg.iters as u64 + 1));
+    assert_eq!(t.barriers, 4 * (cfg.iters as u64 - 1));
+    assert!(t.merged_sync_msgs > 0, "acks must carry merged data+sync");
+
+    let jacobi_run = run_app(jacobi, cfg, 4, Variant::Compiled);
+    let t = totals(&jacobi_run);
+    assert_eq!(t.barriers, 0, "a fully pushable kernel keeps no barrier");
+    assert_eq!(t.barriers_eliminated, 0, "nothing to eliminate: the boundaries are pushes");
+    assert_eq!(t.diffs_created, 0, "push bypasses the DSM protocol wholesale");
+    assert_eq!(t.write_notices, 0);
 }
 
 #[test]

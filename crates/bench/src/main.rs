@@ -1,24 +1,31 @@
 //! Command-line entry point of the benchmark harness.
 //!
-//! * `cargo run -p dsm-bench` — run the suite and write `BENCH_PR4.json`
+//! * `cargo run -p dsm-bench` — run the suite and write `BENCH_PR5.json`
 //!   (path configurable with `--out`), printing a summary table.
 //! * `cargo run -p dsm-bench -- --check` — run the suite and compare it
 //!   against the checked-in baseline (path configurable with
-//!   `--baseline`), exiting non-zero if a gated record regresses.
+//!   `--baseline`), exiting non-zero if any gated record regresses (every
+//!   regressed record is reported first).
+//! * `cargo run -p dsm-bench -- --explain <app>` — dump the kernel's
+//!   compiled plan (phase classifications, refusal reasons, message
+//!   counts) deterministically, without running the suite. May be given
+//!   more than once.
 
-use dsm_bench::{check_regression, render_json, suite};
+use dsm_bench::{check_regression, explain_app, render_json, suite};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check = false;
-    let mut out = String::from("BENCH_PR4.json");
-    let mut baseline = String::from("BENCH_PR4.json");
+    let mut out = String::from("BENCH_PR5.json");
+    let mut baseline = String::from("BENCH_PR5.json");
+    let mut explain: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => check = true,
             "--out" => out = it.next().expect("--out needs a path").clone(),
             "--baseline" => baseline = it.next().expect("--baseline needs a path").clone(),
+            "--explain" => explain.push(it.next().expect("--explain needs an app name").clone()),
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -26,10 +33,26 @@ fn main() {
         }
     }
 
+    if !explain.is_empty() {
+        for app in &explain {
+            match explain_app(app) {
+                Some(dump) => {
+                    println!("=== {app} ===");
+                    print!("{dump}");
+                }
+                None => {
+                    eprintln!("unknown kernel {app:?} (known: jacobi, sor)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        return;
+    }
+
     eprintln!("running the dsm-bench suite (SP/2 cost model)...");
     let records = suite();
     println!(
-        "{:8} {:12} {:>3} {:>12} {:>12} {:>10} {:>8} {:>8} {:>12}",
+        "{:8} {:14} {:>3} {:>12} {:>12} {:>10} {:>8} {:>8} {:>12} {:>8}",
         "app",
         "variant",
         "np",
@@ -38,11 +61,12 @@ fn main() {
         "tlb_hits",
         "segv",
         "msgs",
-        "sync_wait_us"
+        "sync_wait_us",
+        "b_elim"
     );
     for r in &records {
         println!(
-            "{:8} {:12} {:>3} {:>12} {:>12} {:>10} {:>8} {:>8} {:>12}",
+            "{:8} {:14} {:>3} {:>12} {:>12} {:>10} {:>8} {:>8} {:>12} {:>8}",
             r.app,
             r.variant,
             r.nprocs,
@@ -51,7 +75,8 @@ fn main() {
             r.tlb_hits,
             r.page_faults,
             r.messages,
-            r.sync_wait_ns / 1_000
+            r.sync_wait_ns / 1_000,
+            r.barriers_eliminated
         );
     }
 
@@ -71,7 +96,7 @@ fn main() {
                 eprintln!("regression gate passed");
             }
             Err(err) => {
-                eprintln!("regression gate FAILED: {err}");
+                eprintln!("regression gate FAILED:\n{err}");
                 std::process::exit(1);
             }
         }

@@ -139,14 +139,20 @@ pub fn validate_w_sync(p: &mut Process, sync: SyncOp, sections: &[RegularSection
     SectionGrant { pages_warmed, epoch: p.protection_epoch() }
 }
 
-/// The in-flight half of a split-phase [`validate_w_sync_issue`]. Pass it
-/// to [`validate_w_sync_complete`] at the point where the phase first needs
-/// the fetched data.
+/// The in-flight half of a split-phase [`validate_w_sync_issue`] or
+/// [`neighbor_sync_issue`]. Pass it to [`validate_w_sync_complete`] at the
+/// point where the phase first needs the fetched data.
 ///
-/// Dropping the handle without completing it leaks nothing but forfeits the
-/// fetch: the pending pages stay invalid and fault lazily (correct, slow) —
-/// hence the `must_use`.
-#[must_use = "a split-phase validate completes only when passed to validate_w_sync_complete"]
+/// Dropping a handle from [`validate_w_sync_issue`] leaks nothing but
+/// forfeits the fetch: the pending pages stay invalid and fault lazily
+/// (correct, slow). A handle from [`neighbor_sync_issue`] is different —
+/// its acks carry the producers' write notices and vector timestamps, so
+/// completing it is part of the consistency protocol itself and dropping
+/// it loses those notices. Always complete; compiled plans do so by
+/// construction.
+#[must_use = "a split-phase sync completes only when passed to validate_w_sync_complete \
+              (mandatory for neighbor_sync_issue handles: the acks carry consistency \
+              information)"]
 #[derive(Debug)]
 pub struct PendingValidate {
     pending: PendingSync,
@@ -193,6 +199,62 @@ pub fn validate_w_sync_complete(p: &mut Process, pending: PendingValidate) -> Se
     p.stats().split_phase_completes(1);
     let pages_warmed = p.sync_phase_complete(pending.pending);
     SectionGrant { pages_warmed, epoch: p.protection_epoch() }
+}
+
+/// `Neighbor_sync(producers, consumers, regions)`: replaces a barrier the
+/// compiler has proven unnecessary for all but the named point-to-point
+/// dependences. The synchronization degenerates to a ready/ack handshake
+/// between each consumer and its producers; the ack is the paper's merged
+/// data+sync message — the producer's write notices, vector timestamp and
+/// the diffs for the consumer's sections ride one polled message. No tree,
+/// no departure, no global vector-timestamp advance.
+///
+/// **Contract:** only legal when dependence analysis has established that
+/// every inter-processor dependence crossing this phase boundary is from a
+/// named producer to its named consumers (the `rsdcomp` analyzer emits this
+/// call only for such boundaries; see `DESIGN.md` §6 for the soundness
+/// argument). All participants must name each other consistently, like any
+/// collective. Equivalent to [`neighbor_sync_issue`] followed immediately by
+/// [`validate_w_sync_complete`].
+pub fn neighbor_sync(
+    p: &mut Process,
+    producers: &[ProcId],
+    consumers: &[ProcId],
+    sections: &[RegularSection],
+) -> SectionGrant {
+    // The blocking form counts the interface call but not the split-phase
+    // counters — like `validate_w_sync` versus its issue/complete pair, so
+    // `split_phase_issues`/`sync` overlap statistics keep measuring actual
+    // split-phase use.
+    p.stats().neighbor_syncs(1);
+    let plan = plan(sections);
+    let pending = p.neighbor_sync_issue(producers, consumers, &plan);
+    let pages_warmed = p.sync_phase_complete(pending);
+    SectionGrant { pages_warmed, epoch: p.protection_epoch() }
+}
+
+/// The issue half of a split-phase [`neighbor_sync`]: flushes the interval,
+/// performs the ready/ack handshake's send side and answers the named
+/// consumers, but returns **without waiting for the producers' merged
+/// data+sync acks**. Sections already consistent are prepared and warmed
+/// immediately, so computation on local data overlaps the exchange; pass the
+/// handle to [`validate_w_sync_complete`] where the fetched data is first
+/// needed.
+///
+/// Unlike a dropped [`validate_w_sync_issue`] handle, a neighbour-sync
+/// handle **must** be completed — the acks carry consistency information
+/// (notices and timestamps), not just data. Compiled plans always pair the
+/// two halves.
+pub fn neighbor_sync_issue(
+    p: &mut Process,
+    producers: &[ProcId],
+    consumers: &[ProcId],
+    sections: &[RegularSection],
+) -> PendingValidate {
+    p.stats().neighbor_syncs(1);
+    p.stats().split_phase_issues(1);
+    let plan = plan(sections);
+    PendingValidate { pending: p.neighbor_sync_issue(producers, consumers, &plan) }
 }
 
 /// `Push(dest, regions)`: describes one destination of a [`push_phase`] —

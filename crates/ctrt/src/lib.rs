@@ -13,7 +13,13 @@
 //!   so consistency information and data travel on the same messages;
 //! * [`push_phase`] — *"this phase is fully analyzable"*: producers send
 //!   data point-to-point to their consumers ([`Push`]), replacing the
-//!   barrier, the invalidations and the fetches entirely.
+//!   barrier, the invalidations and the fetches entirely;
+//! * [`neighbor_sync`] — *"only these point-to-point dependences cross
+//!   this barrier"*: the barrier is eliminated in favour of a ready/ack
+//!   handshake with the named producers, whose acks are the paper's merged
+//!   data+sync messages (write notices, vector timestamps and diffs on one
+//!   polled message). Emitted by the `rsdcomp` analyzer for boundaries
+//!   with exclusively nearest-neighbour flow dependences.
 //!
 //! Accesses are described as [`RegularSection`]s (lowered `[lo:hi:stride]`
 //! descriptors) tagged with an [`Access`] kind; the `WRITE_ALL` variants
@@ -51,7 +57,8 @@ mod api;
 mod section;
 
 pub use api::{
-    push_phase, validate, validate_w_sync, validate_w_sync_complete, validate_w_sync_issue,
-    warm_sections, PendingValidate, Push, SectionGrant,
+    neighbor_sync, neighbor_sync_issue, push_phase, validate, validate_w_sync,
+    validate_w_sync_complete, validate_w_sync_issue, warm_sections, PendingValidate, Push,
+    SectionGrant,
 };
 pub use section::{Access, RegularSection, SyncOp};

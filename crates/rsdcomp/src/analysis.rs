@@ -1,0 +1,338 @@
+//! Regular-section dependence analysis over phase boundaries.
+//!
+//! For the boundary between a producer phase and a consumer phase the
+//! analyzer enumerates, per processor pair, the *flow dependences* — bytes
+//! the producer writes that the consumer reads — by intersecting the two
+//! phases' lowered sections under the block distribution, and classifies
+//! the boundary:
+//!
+//! * [`BoundaryClass::NoComm`] — no inter-processor dependence: the barrier
+//!   is dropped entirely.
+//! * [`BoundaryClass::Push`] — every dependence's producing section carries
+//!   the pure `WRITE_ALL` assertion: the producer knows both the consumer
+//!   set and the final bytes, so the data moves point-to-point and the DSM
+//!   protocol (twins, diffs, notices) is bypassed wholesale.
+//! * [`BoundaryClass::EliminatedBarrier`] — only nearest-neighbour flow
+//!   dependences (as in red-black SOR's half-sweeps): the barrier is
+//!   replaced by the point-to-point ready/ack sync whose acks merge data
+//!   and consistency information, but the pages stay DSM-managed because
+//!   the producing sections read before overwriting.
+//! * [`BoundaryClass::FullBarrier`] — everything else, with the
+//!   [`Refusal`] recording why the analyzer declined to optimize. Refusal
+//!   is always sound: the full barrier preserves every happens-before edge.
+
+use pagedmem::AddrRange;
+use treadmarks::ProcId;
+
+use crate::ir::{Access, ColSpan, Phase, Program};
+
+/// Why the analyzer refused to eliminate a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// Two processors' write sections of the producer phase overlap: the
+    /// phase's output is order-dependent at section granularity, and only
+    /// the barrier's global ordering (plus the multiple-writer protocol
+    /// underneath) is known to preserve it.
+    OverlappingWrites,
+    /// A section of either phase is non-affine ([`ColSpan::Unknown`]): the
+    /// consumer set cannot be computed, so no named-producer sync can be
+    /// proven to cover every dependence.
+    NonAffine,
+    /// A dependence is not a nearest-neighbour exchange — a cross-block
+    /// access (e.g. the `All`-span read of a reduction) makes every
+    /// processor depend on every other, and replacing the barrier with a
+    /// dense point-to-point exchange would re-create it, worse.
+    NonNeighbourDependence,
+    /// The boundary is pushable in isolation, but the program flushes
+    /// intervals elsewhere (an eliminated or full barrier exists): raw
+    /// pushed bytes landing in a page that is later twinned and diffed
+    /// would be re-shipped as the receiver's own modifications — under
+    /// false sharing that overwrites a concurrent writer's fresh values
+    /// with the pushed snapshot. `Push` is therefore only legal when the
+    /// *whole* kernel bypasses the protocol; here the dependence data must
+    /// travel as (delta-exact) diffs instead.
+    MixedWithManagedPhases,
+}
+
+impl Refusal {
+    /// Stable lowercase name for diagnostics and the `--explain` dump.
+    pub fn name(self) -> &'static str {
+        match self {
+            Refusal::OverlappingWrites => "overlapping-writes",
+            Refusal::NonAffine => "non-affine",
+            Refusal::NonNeighbourDependence => "non-neighbour-dependence",
+            Refusal::MixedWithManagedPhases => "mixed-with-managed-phases",
+        }
+    }
+}
+
+/// The classification of one phase boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryClass {
+    /// No inter-processor dependence crosses the boundary: no
+    /// synchronization is emitted at all.
+    NoComm,
+    /// A real (tree) barrier survives.
+    FullBarrier {
+        /// Why elimination was refused; `None` when the barrier was kept by
+        /// the garbage-collection policy rather than a soundness refusal.
+        refusal: Option<Refusal>,
+        /// The boundary was eliminable but retained so the GC horizon keeps
+        /// advancing (one real barrier per loop iteration whenever the body
+        /// flushes intervals at eliminated boundaries).
+        gc_forced: bool,
+    },
+    /// The barrier is replaced by the point-to-point ready/ack sync with
+    /// named producers (merged data+sync acks).
+    EliminatedBarrier,
+    /// The barrier and the DSM protocol are both replaced by direct pushes.
+    Push,
+}
+
+impl BoundaryClass {
+    /// Stable lowercase name for diagnostics and the `--explain` dump.
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundaryClass::NoComm => "no-comm",
+            BoundaryClass::FullBarrier { .. } => "barrier",
+            BoundaryClass::EliminatedBarrier => "eliminated-barrier",
+            BoundaryClass::Push => "push",
+        }
+    }
+}
+
+/// One inter-processor flow dependence across a boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepPair {
+    /// The processor whose producer-phase writes are read.
+    pub producer: ProcId,
+    /// The processor whose consumer-phase reads depend on them.
+    pub consumer: ProcId,
+    /// The dependent bytes (intersection of the producer's written and the
+    /// consumer's read sections), coalesced.
+    pub regions: Vec<AddrRange>,
+}
+
+/// The analyzer's full result for one boundary: the classification plus the
+/// dependence pairs the plan generator turns into neighbour sets or pushes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryAnalysis {
+    /// The classification.
+    pub class: BoundaryClass,
+    /// Every inter-processor flow dependence (empty for `NoComm`).
+    pub pairs: Vec<DepPair>,
+}
+
+/// A phase's sections lowered for one processor.
+struct Lowered {
+    /// `(range, pure WRITE_ALL)` for every written section.
+    writes: Vec<(AddrRange, bool)>,
+    /// `(range, via All span)` for every read section.
+    reads: Vec<(AddrRange, bool)>,
+    /// The phase names a non-affine section.
+    unknown: bool,
+}
+
+fn lower(program: &Program, nprocs: usize, me: ProcId, phase: &Phase) -> Lowered {
+    let mut out = Lowered { writes: Vec::new(), reads: Vec::new(), unknown: false };
+    for access in &phase.accesses {
+        let decl = &program.arrays[access.array];
+        let Some(cols) = access.span.eval(decl.cols, nprocs, me) else {
+            out.unknown = true;
+            continue;
+        };
+        if cols.is_empty() {
+            continue;
+        }
+        let range = decl.col_range(cols.start, cols.end);
+        if access.writes() {
+            out.writes.push((range, access.access == Access::WriteAll));
+        }
+        if access.reads() {
+            out.reads.push((range, access.span == ColSpan::All));
+        }
+    }
+    out
+}
+
+/// Writes not yet synchronized to each consumer, accumulated along the
+/// unrolled execution order.
+///
+/// A dependence can span *several* phase boundaries (the write in phase
+/// `A`, the read two phases later in `C`, with a dependence-free boundary
+/// between): analyzing only adjacent phases would silently drop the one
+/// barrier enforcing it. The compiler therefore walks the program carrying,
+/// per ordered processor pair `(p, q)`, every write of `p` that `q` has not
+/// yet received consistency information for — which mirrors the runtime
+/// exactly, where writes stay dirty until the next flush boundary. A full
+/// barrier clears everything (its departures carry every notice to every
+/// processor); an eliminated barrier clears only the named pairs (the ack
+/// carries all of the producer's notices to that consumer); a push clears
+/// nothing (it moves bytes, not notices — conservative, and harmless
+/// because re-pushing current bytes is idempotent).
+#[derive(Debug, Clone)]
+pub struct PendingWrites {
+    nprocs: usize,
+    /// `unseen[p * nprocs + q]`: `(range, pure WRITE_ALL)` writes of `p`
+    /// that `q` has no consistency information for.
+    unseen: Vec<Vec<(AddrRange, bool)>>,
+    /// A non-affine write is pending: its extent is unknowable, so every
+    /// boundary until the next full barrier must refuse.
+    unknown: bool,
+    /// An overlapping cross-processor write is pending: the region's value
+    /// is order-dependent at section granularity, so every boundary until
+    /// the next full barrier must refuse.
+    overlap: bool,
+}
+
+impl PendingWrites {
+    /// No pending writes (program start).
+    pub fn new(nprocs: usize) -> PendingWrites {
+        PendingWrites {
+            nprocs,
+            unseen: vec![Vec::new(); nprocs * nprocs],
+            unknown: false,
+            overlap: false,
+        }
+    }
+
+    /// Accumulates `phase`'s writes (every other processor becomes a
+    /// potential consumer), recording non-affine writes and cross-processor
+    /// write overlaps as sticky refusal conditions.
+    pub fn add_phase_writes(&mut self, program: &Program, phase: &Phase) {
+        let nprocs = self.nprocs;
+        let lowered: Vec<Lowered> =
+            (0..nprocs).map(|me| lower(program, nprocs, me, phase)).collect();
+        self.unknown |=
+            phase.accesses.iter().any(|a| a.span == ColSpan::Unknown && a.access.is_write());
+        for p in 0..nprocs {
+            for q in p + 1..nprocs {
+                self.overlap |= lowered[p].writes.iter().any(|(wp, _)| {
+                    lowered[q].writes.iter().any(|(wq, _)| wp.intersect(wq).is_some())
+                });
+            }
+        }
+        for (p, l) in lowered.iter().enumerate() {
+            if l.writes.is_empty() {
+                continue;
+            }
+            for q in 0..nprocs {
+                if q == p {
+                    continue;
+                }
+                self.unseen[p * nprocs + q].extend(l.writes.iter().copied());
+            }
+        }
+    }
+
+    /// A full barrier: every processor receives every notice.
+    pub fn clear_all(&mut self) {
+        for v in &mut self.unseen {
+            v.clear();
+        }
+        self.unknown = false;
+        self.overlap = false;
+    }
+
+    /// An eliminated barrier's ack: `consumer` received all of
+    /// `producer`'s notices.
+    pub fn clear_pair(&mut self, producer: ProcId, consumer: ProcId) {
+        self.unseen[producer * self.nprocs + consumer].clear();
+    }
+}
+
+/// Classifies the boundary into `next` given the writes accumulated so far
+/// (see [`PendingWrites`]) — the form [`crate::compile`] uses along its
+/// walk of the unrolled program.
+pub fn classify_against_pending(
+    program: &Program,
+    nprocs: usize,
+    pending: &PendingWrites,
+    next: &Phase,
+) -> BoundaryAnalysis {
+    let nexts: Vec<Lowered> = (0..nprocs).map(|me| lower(program, nprocs, me, next)).collect();
+    let refuse = |refusal| BoundaryAnalysis {
+        class: BoundaryClass::FullBarrier { refusal: Some(refusal), gc_forced: false },
+        pairs: Vec::new(),
+    };
+    if pending.unknown || nexts.iter().any(|l| l.unknown) {
+        return refuse(Refusal::NonAffine);
+    }
+    if pending.overlap {
+        return refuse(Refusal::OverlappingWrites);
+    }
+    // Flow dependences: accumulated unsynchronized writes ∩ consumer reads,
+    // per ordered pair.
+    let mut pairs = Vec::new();
+    let mut all_pushable = true;
+    let mut any_cross_block = false;
+    let mut all_neighbours = true;
+    for producer in 0..nprocs {
+        for (consumer, consumed) in nexts.iter().enumerate() {
+            if producer == consumer {
+                continue;
+            }
+            let mut regions = Vec::new();
+            for &(write, pure_write_all) in &pending.unseen[producer * nprocs + consumer] {
+                for &(read, via_all) in &consumed.reads {
+                    if let Some(region) = write.intersect(&read) {
+                        regions.push(region);
+                        all_pushable &= pure_write_all;
+                        any_cross_block |= via_all;
+                    }
+                }
+            }
+            if regions.is_empty() {
+                continue;
+            }
+            all_neighbours &= producer.abs_diff(consumer) == 1;
+            pairs.push(DepPair { producer, consumer, regions: AddrRange::coalesce(regions) });
+        }
+    }
+    if pairs.is_empty() {
+        return BoundaryAnalysis { class: BoundaryClass::NoComm, pairs };
+    }
+    if any_cross_block {
+        return BoundaryAnalysis {
+            class: BoundaryClass::FullBarrier {
+                refusal: Some(Refusal::NonNeighbourDependence),
+                gc_forced: false,
+            },
+            pairs,
+        };
+    }
+    // `Push` needs the producers to know the final bytes without reading
+    // the section first (pure WRITE_ALL): the raw current copy then *is*
+    // the dependence's value and no write notices are owed to anyone. A
+    // ReadWriteAll (or partial-write) producer keeps its pages DSM-managed,
+    // so at most the barrier — not the protocol — can go.
+    let class = if all_pushable {
+        BoundaryClass::Push
+    } else if all_neighbours {
+        BoundaryClass::EliminatedBarrier
+    } else {
+        BoundaryClass::FullBarrier {
+            refusal: Some(Refusal::NonNeighbourDependence),
+            gc_forced: false,
+        }
+    };
+    BoundaryAnalysis { class, pairs }
+}
+
+/// Analyzes the single boundary between `prev` (producer phase) and `next`
+/// (consumer phase) for an `nprocs`-processor run, considering only
+/// `prev`'s writes — the stateless form, suitable for inspecting one
+/// boundary in isolation. [`crate::compile`] instead accumulates the
+/// writes of *every* phase since the last synchronization that delivered
+/// them ([`PendingWrites`]), so dependences spanning several boundaries
+/// are seen too.
+pub fn analyze_boundary(
+    program: &Program,
+    nprocs: usize,
+    prev: &Phase,
+    next: &Phase,
+) -> BoundaryAnalysis {
+    let mut pending = PendingWrites::new(nprocs);
+    pending.add_phase_writes(program, prev);
+    classify_against_pending(program, nprocs, &pending, next)
+}

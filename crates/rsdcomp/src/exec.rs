@@ -1,0 +1,74 @@
+//! Executing a compiled plan over the `ctrt` interface.
+//!
+//! The application iterates its [`ProcPlan`](crate::ProcPlan)'s steps,
+//! issues each entry op, runs the phase's numeric body and completes the
+//! entry — the same split-phase shape the hand-written `Validate` variants
+//! use, so computation on already-local data overlaps the exchange. The
+//! executor is the *only* place compiled kernels touch the runtime: the
+//! application contributes arithmetic, the plan contributes protocol.
+
+use ctrt::PendingValidate;
+use treadmarks::Process;
+
+use crate::plan::BoundaryOp;
+
+/// An entry op in flight: either already finished (local prep, pushes) or
+/// a pending split-phase synchronization to be completed where the fetched
+/// data is first needed.
+#[must_use = "a pending entry op completes only when passed to exec::complete"]
+#[derive(Debug)]
+pub enum Issued {
+    /// The op finished at issue.
+    Done,
+    /// A split-phase synchronization is in flight (boxed: the pending
+    /// state is much larger than the empty variant).
+    Pending(Box<PendingValidate>),
+}
+
+/// Issues the entry op of a plan step. For [`BoundaryOp::Barrier`] and
+/// [`BoundaryOp::NeighborSync`] the returned handle is pending: compute on
+/// sections that were already local, then [`complete`] before touching the
+/// fetched data (a compiled plan's interior/edge split). Everything else
+/// finishes immediately.
+pub fn issue(p: &mut Process, op: &BoundaryOp) -> Issued {
+    match op {
+        BoundaryOp::Local { prepare, sections } => {
+            if *prepare {
+                ctrt::validate(p, sections);
+            } else {
+                ctrt::warm_sections(p, sections);
+            }
+            Issued::Done
+        }
+        BoundaryOp::Barrier { sections } => Issued::Pending(Box::new(ctrt::validate_w_sync_issue(
+            p,
+            treadmarks::SyncOp::Barrier,
+            sections,
+        ))),
+        BoundaryOp::NeighborSync { producers, consumers, sections } => {
+            Issued::Pending(Box::new(ctrt::neighbor_sync_issue(p, producers, consumers, sections)))
+        }
+        BoundaryOp::Push { sends, recv_from, prepare, sections } => {
+            ctrt::push_phase(p, sends, recv_from);
+            if *prepare {
+                ctrt::validate(p, sections);
+            } else {
+                ctrt::warm_sections(p, sections);
+            }
+            Issued::Done
+        }
+    }
+}
+
+/// Completes a pending entry op (no-op for ops that finished at issue).
+pub fn complete(p: &mut Process, issued: Issued) {
+    if let Issued::Pending(pending) = issued {
+        ctrt::validate_w_sync_complete(p, *pending);
+    }
+}
+
+/// Issues and immediately completes an entry op (no overlap).
+pub fn run_boundary(p: &mut Process, op: &BoundaryOp) {
+    let issued = issue(p, op);
+    complete(p, issued);
+}

@@ -1,0 +1,308 @@
+//! The loop-nest / phase-graph IR the compiler analyzes.
+//!
+//! A [`Program`] describes an SPMD kernel as a sequence of *phases* — each
+//! a computation whose shared accesses are summarised by regular sections
+//! over declared arrays — optionally repeated by a loop node. Sections are
+//! *symbolic in the processor id*: a [`ColSpan`] names column ranges
+//! relative to the processor's owned block under the block-column
+//! distribution, so one program describes every processor's accesses and
+//! the analyzer can enumerate all inter-processor dependences of a phase
+//! boundary exactly.
+
+use pagedmem::{Addr, AddrRange};
+use treadmarks::{Shareable, SharedMatrix};
+
+pub use ctrt::Access;
+
+/// Index of an array declaration within its [`Program`].
+pub type ArrayId = usize;
+
+/// Index of a phase within its [`Program`] (flattened declaration order:
+/// straight-line phases first-come, loop-body phases once each).
+pub type PhaseId = usize;
+
+/// A shared column-major matrix the program accesses.
+///
+/// The declaration carries the concrete base address so lowered sections
+/// are real address ranges: the IR is built *after* allocation (SPMD
+/// programs allocate identically on every processor, so the addresses are
+/// program-wide constants by the time the kernel is compiled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Name used by diagnostics and the `--explain` dump.
+    pub name: &'static str,
+    /// Base address of element (0, 0).
+    pub base: Addr,
+    /// Rows (one column of `rows` elements is the contiguity unit).
+    pub rows: usize,
+    /// Columns, distributed over processors in contiguous blocks.
+    pub cols: usize,
+    /// Size of one element in bytes.
+    pub elem_bytes: usize,
+}
+
+impl ArrayDecl {
+    /// Declares the array behind a [`SharedMatrix`].
+    pub fn of_matrix<T: Shareable>(name: &'static str, m: &SharedMatrix<T>) -> ArrayDecl {
+        ArrayDecl {
+            name,
+            base: m.array().addr_of(0),
+            rows: m.rows(),
+            cols: m.cols(),
+            elem_bytes: T::BYTES,
+        }
+    }
+
+    /// The byte range of columns `[c0, c1)`.
+    pub fn col_range(&self, c0: usize, c1: usize) -> AddrRange {
+        assert!(c0 <= c1 && c1 <= self.cols, "column range {c0}..{c1} out of {}", self.cols);
+        let col_bytes = self.rows * self.elem_bytes;
+        AddrRange::new(self.base.offset(c0 * col_bytes), (c1 - c0) * col_bytes)
+    }
+}
+
+/// The contiguous block of columns owned by processor `me` of `nprocs`
+/// under the block-column distribution (remainder columns go to the
+/// lowest-numbered processors, so blocks differ in size by at most one).
+pub fn col_block(cols: usize, nprocs: usize, me: usize) -> std::ops::Range<usize> {
+    let base = cols / nprocs;
+    let extra = cols % nprocs;
+    let lo = me * base + me.min(extra);
+    let hi = lo + base + usize::from(me < extra);
+    lo..hi
+}
+
+/// A symbolic column span, evaluated per processor against the block
+/// distribution when the program is compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColSpan {
+    /// The processor's whole owned block.
+    OwnBlock,
+    /// The owned block minus the fixed global boundary columns (column 0
+    /// and column `cols - 1` are never updated by stencil kernels).
+    UpdateBlock,
+    /// The update block extended by `h` columns on each side, clamped to
+    /// the array — the stencil read set (own columns plus the neighbours'
+    /// boundary columns).
+    UpdateHalo(usize),
+    /// The owned block of the processor `offset` positions away. With
+    /// `wrap`, the offset is taken modulo `nprocs` (ring patterns);
+    /// without, an out-of-range neighbour yields the empty span.
+    BlockOf {
+        /// Signed processor offset.
+        offset: isize,
+        /// Whether the offset wraps around the processor ring.
+        wrap: bool,
+    },
+    /// The whole array: a cross-block access (e.g. the read side of a
+    /// reduction). Dependences through an `All` span are global, so the
+    /// analyzer never eliminates the enclosing boundary.
+    All,
+    /// A subscript the analysis cannot express as a regular section
+    /// (non-affine, indirection). Forces a full barrier at every boundary
+    /// the access participates in.
+    Unknown,
+}
+
+impl ColSpan {
+    /// The concrete column range for processor `me`, or `None` for
+    /// [`ColSpan::Unknown`].
+    pub fn eval(self, cols: usize, nprocs: usize, me: usize) -> Option<std::ops::Range<usize>> {
+        match self {
+            ColSpan::OwnBlock => Some(col_block(cols, nprocs, me)),
+            ColSpan::UpdateBlock => {
+                let own = col_block(cols, nprocs, me);
+                let lo = own.start.max(1);
+                let hi = own.end.min(cols.saturating_sub(1));
+                Some(lo..hi.max(lo))
+            }
+            ColSpan::UpdateHalo(h) => {
+                let update = ColSpan::UpdateBlock.eval(cols, nprocs, me).expect("affine");
+                if update.is_empty() {
+                    return Some(update);
+                }
+                Some(update.start.saturating_sub(h)..(update.end + h).min(cols))
+            }
+            ColSpan::BlockOf { offset, wrap } => {
+                let n = nprocs as isize;
+                let target = me as isize + offset;
+                let target = if wrap {
+                    target.rem_euclid(n)
+                } else if (0..n).contains(&target) {
+                    target
+                } else {
+                    return Some(0..0);
+                };
+                Some(col_block(cols, nprocs, target as usize))
+            }
+            ColSpan::All => Some(0..cols),
+            ColSpan::Unknown => None,
+        }
+    }
+}
+
+/// One access of a phase: a symbolic column span of an array, tagged with
+/// the asserted [`Access`] kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionAccess {
+    /// The accessed array.
+    pub array: ArrayId,
+    /// The columns, symbolic in the processor id.
+    pub span: ColSpan,
+    /// The access kind (the `WRITE_ALL` variants carry the paper's
+    /// full-overwrite assertion, which is what licenses `Push`).
+    pub access: Access,
+}
+
+impl SectionAccess {
+    /// A new access description.
+    pub fn new(array: ArrayId, span: ColSpan, access: Access) -> SectionAccess {
+        SectionAccess { array, span, access }
+    }
+
+    /// Whether the access reads the section's old contents.
+    pub fn reads(&self) -> bool {
+        self.access.needs_fetch()
+    }
+
+    /// Whether the access writes the section.
+    pub fn writes(&self) -> bool {
+        self.access.is_write()
+    }
+}
+
+/// One program phase: a named computation summarised by its accesses.
+/// Accesses should list read sections before written ones so the warm list
+/// leaves written pages with writable fast-path mappings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Diagnostic name (also how applications map plan steps back to their
+    /// compute bodies).
+    pub name: &'static str,
+    /// The phase's shared accesses.
+    pub accesses: Vec<SectionAccess>,
+}
+
+impl Phase {
+    /// A new phase.
+    pub fn new(name: &'static str, accesses: Vec<SectionAccess>) -> Phase {
+        Phase { name, accesses }
+    }
+}
+
+/// A node of the (one-level) loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A straight-line phase, executed once.
+    Phase(Phase),
+    /// A counted loop over a body of phases.
+    Repeat {
+        /// The repeat count.
+        times: usize,
+        /// The phases of one iteration, in execution order.
+        body: Vec<Phase>,
+    },
+}
+
+/// A whole kernel: array declarations plus the phase/loop structure.
+///
+/// The distribution is implicit: arrays are distributed by contiguous
+/// column blocks ([`col_block`]), the per-proc ownership every [`ColSpan`]
+/// is evaluated against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The shared arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// The phase/loop structure, in execution order.
+    pub nodes: Vec<Node>,
+}
+
+impl Program {
+    /// Every distinct phase in declaration order; the index is the
+    /// [`PhaseId`] used throughout the compiler.
+    pub fn phases(&self) -> Vec<&Phase> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            match node {
+                Node::Phase(p) => out.push(p),
+                Node::Repeat { body, .. } => out.extend(body.iter()),
+            }
+        }
+        out
+    }
+
+    /// The unrolled execution order, as phase ids.
+    pub fn occurrences(&self) -> Vec<PhaseId> {
+        let mut out = Vec::new();
+        let mut next_id = 0;
+        for node in &self.nodes {
+            match node {
+                Node::Phase(_) => {
+                    out.push(next_id);
+                    next_id += 1;
+                }
+                Node::Repeat { times, body } => {
+                    let ids: Vec<PhaseId> = (next_id..next_id + body.len()).collect();
+                    next_id += body.len();
+                    for _ in 0..*times {
+                        out.extend(ids.iter().copied());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_blocks_partition_the_columns() {
+        for (cols, nprocs) in [(8, 4), (10, 4), (7, 3), (4, 4), (32, 16)] {
+            let mut covered = 0;
+            for me in 0..nprocs {
+                let b = col_block(cols, nprocs, me);
+                assert_eq!(b.start, covered);
+                covered = b.end;
+            }
+            assert_eq!(covered, cols);
+        }
+    }
+
+    #[test]
+    fn spans_evaluate_against_the_block_distribution() {
+        // 8 columns over 4 procs: blocks of 2.
+        assert_eq!(ColSpan::OwnBlock.eval(8, 4, 1), Some(2..4));
+        assert_eq!(ColSpan::UpdateBlock.eval(8, 4, 0), Some(1..2));
+        assert_eq!(ColSpan::UpdateBlock.eval(8, 4, 3), Some(6..7));
+        assert_eq!(ColSpan::UpdateHalo(1).eval(8, 4, 1), Some(1..5));
+        assert_eq!(ColSpan::UpdateHalo(1).eval(8, 4, 0), Some(0..3));
+        assert_eq!(ColSpan::All.eval(8, 4, 2), Some(0..8));
+        assert_eq!(ColSpan::Unknown.eval(8, 4, 2), None);
+    }
+
+    #[test]
+    fn block_of_clamps_or_wraps() {
+        let clamped = ColSpan::BlockOf { offset: -1, wrap: false };
+        assert_eq!(clamped.eval(8, 4, 0), Some(0..0), "no left neighbour without wrap");
+        assert_eq!(clamped.eval(8, 4, 2), Some(2..4));
+        let ring = ColSpan::BlockOf { offset: 1, wrap: true };
+        assert_eq!(ring.eval(8, 4, 3), Some(0..2), "the ring wraps to processor 0");
+    }
+
+    #[test]
+    fn occurrences_unroll_loops_and_ids_are_stable() {
+        let phase = |name| Phase::new(name, Vec::new());
+        let program = Program {
+            arrays: Vec::new(),
+            nodes: vec![
+                Node::Phase(phase("init")),
+                Node::Repeat { times: 3, body: vec![phase("red"), phase("black")] },
+            ],
+        };
+        assert_eq!(program.phases().len(), 3);
+        assert_eq!(program.occurrences(), vec![0, 1, 2, 1, 2, 1, 2]);
+    }
+}

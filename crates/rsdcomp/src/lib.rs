@@ -1,14 +1,54 @@
 //! # rsdcomp — the regular-section compiler
 //!
-//! Placeholder for the compile-time half of the system: regular section
-//! analysis over an explicit loop IR, producing the `Validate` /
-//! `Validate_w_sync` / `Push` calls that the [`ctrt`] crate executes. A
-//! later PR populates this crate; the public surface today is limited to a
-//! re-export of the interface types the compiler will target, so that
-//! downstream code can already name them through one path.
+//! The compile-time half of the paper: a loop-nest/phase-graph IR whose
+//! phases summarise their shared accesses as regular sections over declared
+//! arrays ([`Program`], [`Phase`], [`SectionAccess`]), a dependence
+//! analyzer that classifies every phase boundary
+//! ([`analyze_boundary`] → [`BoundaryClass`]), and a plan generator
+//! ([`compile`]) that lowers the classified program to the exact sequence
+//! of `ctrt` calls each processor executes ([`ProcPlan`], run through
+//! [`exec`]).
+//!
+//! The classification ladder, most to least optimized:
+//!
+//! 1. **`NoComm`** — no inter-processor dependence: the boundary vanishes.
+//! 2. **[`BoundaryClass::Push`]** — every dependence's producer section
+//!    carries the pure `WRITE_ALL` assertion and the consumer sets are
+//!    statically known: data moves point-to-point, no barrier, no twins,
+//!    no diffs, no notices.
+//! 3. **[`BoundaryClass::EliminatedBarrier`]** — only nearest-neighbour
+//!    flow dependences (red-black SOR's half-sweeps): the barrier is
+//!    replaced by a ready/ack handshake whose acks are the paper's *merged
+//!    data+sync messages* (notices, timestamps and diffs on one polled
+//!    message), while the pages stay DSM-managed.
+//! 4. **`FullBarrier`** — everything else, including the analyzer's
+//!    refusals ([`Refusal`]): overlapping write sections, non-affine
+//!    subscripts, cross-block (e.g. reduction) dependences. Refusal is
+//!    always sound — the real barrier preserves every happens-before edge.
+//!
+//! A garbage-collection policy additionally retains one real barrier per
+//! loop iteration whenever the body flushes intervals at eliminated
+//! boundaries, so the horizon keeps advancing and diff caches stay bounded
+//! (`DESIGN.md` §6 has the soundness argument for both the elimination and
+//! the policy).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod analysis;
+pub mod exec;
+mod explain;
+mod ir;
+mod plan;
+
+pub use analysis::{
+    analyze_boundary, classify_against_pending, BoundaryAnalysis, BoundaryClass, DepPair,
+    PendingWrites, Refusal,
+};
 pub use ctrt::{Access, RegularSection, SyncOp};
+pub use explain::explain;
+pub use ir::{
+    col_block, ArrayDecl, ArrayId, ColSpan, Node, Phase, PhaseId, Program, SectionAccess,
+};
 pub use pagedmem::AddrRange;
+pub use plan::{compile, BoundaryOp, BoundarySummary, CompiledKernel, PlanStep, ProcPlan};

@@ -1,0 +1,432 @@
+//! Plan generation: from classified boundaries to executable `ctrt` calls.
+//!
+//! [`compile`] unrolls the program, analyzes every distinct phase boundary,
+//! applies the garbage-collection policy (one *real* barrier per loop
+//! iteration whenever the body flushes intervals at eliminated boundaries,
+//! so diff caches stay bounded) and emits one [`ProcPlan`] per processor —
+//! the exact sequence of compiler-interface calls the kernel executes. The
+//! application supplies only the numeric phase bodies; every protocol
+//! decision lives in the plan.
+
+use ctrt::{Push, RegularSection};
+use treadmarks::ProcId;
+
+use crate::analysis::{
+    classify_against_pending, BoundaryAnalysis, BoundaryClass, PendingWrites, Refusal,
+};
+use crate::ir::{col_block, Access, Node, PhaseId, Program};
+
+/// The synchronization/preparation op executed at a phase's entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundaryOp {
+    /// No inter-processor exchange: prepare (batch write-enable + warm) the
+    /// phase's sections if a flush has staled them, else just re-warm the
+    /// fast-path mappings.
+    Local {
+        /// Whether write preparation is needed (a flush boundary
+        /// write-protected the sections since they were last prepared).
+        prepare: bool,
+        /// The phase's sections.
+        sections: Vec<RegularSection>,
+    },
+    /// A surviving real barrier, merged with the phase's sections
+    /// (split-phase `Validate_w_sync`).
+    Barrier {
+        /// The phase's sections.
+        sections: Vec<RegularSection>,
+    },
+    /// An eliminated barrier: point-to-point ready/ack with the named
+    /// producers, the acks carrying merged data+sync.
+    NeighborSync {
+        /// Processors whose modifications this processor consumes.
+        producers: Vec<ProcId>,
+        /// Processors consuming this processor's modifications.
+        consumers: Vec<ProcId>,
+        /// The phase's sections.
+        sections: Vec<RegularSection>,
+    },
+    /// A fully analyzable boundary: the dependence regions move as direct
+    /// pushes and no synchronization or consistency machinery runs at all.
+    Push {
+        /// Outgoing pushes (this processor's produced regions, per
+        /// consumer).
+        sends: Vec<Push>,
+        /// Producers whose pushes are awaited.
+        recv_from: Vec<ProcId>,
+        /// Whether the phase's sections still need write preparation.
+        prepare: bool,
+        /// The phase's sections.
+        sections: Vec<RegularSection>,
+    },
+}
+
+impl BoundaryOp {
+    /// Stable lowercase name for diagnostics and the `--explain` dump.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BoundaryOp::Local { prepare: true, .. } => "prepare",
+            BoundaryOp::Local { prepare: false, .. } => "warm",
+            BoundaryOp::Barrier { .. } => "barrier",
+            BoundaryOp::NeighborSync { .. } => "neighbor-sync",
+            BoundaryOp::Push { .. } => "push",
+        }
+    }
+
+    /// Point-to-point messages this processor sends executing the op.
+    pub fn messages_sent(&self) -> usize {
+        match self {
+            BoundaryOp::Local { .. } | BoundaryOp::Barrier { .. } => 0,
+            // One ready per producer, one ack per consumer.
+            BoundaryOp::NeighborSync { producers, consumers, .. } => {
+                producers.len() + consumers.len()
+            }
+            BoundaryOp::Push { sends, .. } => sends.len(),
+        }
+    }
+}
+
+/// One step of a processor's plan: execute `entry`, then run the phase's
+/// numeric body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// The phase whose body follows the entry op.
+    pub phase: PhaseId,
+    /// The synchronization/preparation op at the phase's entry.
+    pub entry: BoundaryOp,
+}
+
+/// The complete compiled call sequence for one processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcPlan {
+    /// The steps, in execution order (one per phase occurrence).
+    pub steps: Vec<PlanStep>,
+    /// Executed after the last phase: re-warms the processor's own blocks
+    /// for the result read-back (pushes stale every cached mapping).
+    pub exit: BoundaryOp,
+}
+
+impl ProcPlan {
+    /// Number of eliminated barriers this processor participates in.
+    pub fn barriers_eliminated(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s.entry, BoundaryOp::NeighborSync { .. })).count()
+    }
+
+    /// Number of surviving real barriers.
+    pub fn barriers(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s.entry, BoundaryOp::Barrier { .. })).count()
+    }
+
+    /// Point-to-point messages this processor sends over the whole plan.
+    pub fn messages_sent(&self) -> usize {
+        self.steps.iter().map(|s| s.entry.messages_sent()).sum()
+    }
+}
+
+/// One distinct boundary's classification, with its occurrence count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundarySummary {
+    /// The producer phase.
+    pub prev: PhaseId,
+    /// The consumer phase.
+    pub next: PhaseId,
+    /// The classification (after the GC policy).
+    pub class: BoundaryClass,
+    /// How often the boundary occurs in the unrolled execution.
+    pub occurrences: usize,
+}
+
+/// The output of [`compile`]: the classified boundaries plus one executable
+/// plan per processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledKernel {
+    /// The cluster size the kernel was compiled for.
+    pub nprocs: usize,
+    /// Every distinct boundary, in first-occurrence order.
+    pub boundaries: Vec<BoundarySummary>,
+    plans: Vec<ProcPlan>,
+}
+
+impl CompiledKernel {
+    /// The plan of processor `me`.
+    pub fn plan_for(&self, me: ProcId) -> &ProcPlan {
+        &self.plans[me]
+    }
+
+    /// Barriers eliminated per processor over the whole run (identical on
+    /// every processor: compiled plans are SPMD-uniform in structure).
+    pub fn barriers_eliminated(&self) -> usize {
+        self.plans[0].barriers_eliminated()
+    }
+
+    /// Surviving real barriers per processor over the whole run.
+    pub fn barriers(&self) -> usize {
+        self.plans[0].barriers()
+    }
+}
+
+/// Compiles `program` for an `nprocs`-processor run.
+///
+/// # Panics
+///
+/// Panics if the program has no phases, an array has fewer than `2 *
+/// nprocs` columns (the block distribution needs at least two columns per
+/// processor), or a referenced array id is out of range.
+pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
+    assert!(nprocs > 0, "a kernel is compiled for at least one processor");
+    for decl in &program.arrays {
+        assert!(
+            decl.cols >= 2 * nprocs,
+            "array {:?} needs at least two columns per processor",
+            decl.name
+        );
+    }
+    let phases = program.phases();
+    // Unroll with loop structure in hand: the occurrence order plus, per
+    // `Repeat`, its position/length/count (for the GC policy's loop-back
+    // detection).
+    let mut occurrences: Vec<PhaseId> = Vec::new();
+    let mut repeats: Vec<(usize, usize, usize)> = Vec::new();
+    let mut next_id = 0;
+    for node in &program.nodes {
+        match node {
+            Node::Phase(_) => {
+                occurrences.push(next_id);
+                next_id += 1;
+            }
+            Node::Repeat { times, body } => {
+                let ids: Vec<PhaseId> = (next_id..next_id + body.len()).collect();
+                next_id += body.len();
+                repeats.push((occurrences.len(), body.len(), *times));
+                for _ in 0..*times {
+                    occurrences.extend(ids.iter().copied());
+                }
+            }
+        }
+    }
+    assert!(!occurrences.is_empty(), "a program needs at least one phase");
+
+    // Walk the unrolled order classifying every boundary occurrence
+    // against the writes *accumulated* since they were last synchronized
+    // to each consumer — a dependence spanning several boundaries (write,
+    // unrelated phase, read) is then caught at the boundary where the read
+    // happens, instead of slipping through two NoComm classifications.
+    // Clearing mirrors what each synchronization actually delivers: a full
+    // barrier distributes every notice to everyone; an eliminated
+    // barrier's ack carries all of one producer's notices to one named
+    // consumer; a push moves bytes, not notices, so it clears nothing.
+    let mut analyses: Vec<BoundaryAnalysis> =
+        Vec::with_capacity(occurrences.len().saturating_sub(1));
+    let mut pending = PendingWrites::new(nprocs);
+    for w in occurrences.windows(2) {
+        pending.add_phase_writes(program, phases[w[0]]);
+        let analysis = classify_against_pending(program, nprocs, &pending, phases[w[1]]);
+        match &analysis.class {
+            BoundaryClass::FullBarrier { .. } => pending.clear_all(),
+            BoundaryClass::EliminatedBarrier => {
+                for pair in &analysis.pairs {
+                    pending.clear_pair(pair.producer, pair.consumer);
+                }
+            }
+            BoundaryClass::NoComm | BoundaryClass::Push => {}
+        }
+        analyses.push(analysis);
+    }
+
+    // Whole-program soundness pass for `Push`: pushing raw bytes is only
+    // legal when the kernel never flushes intervals — a later twin/diff of
+    // a page holding pushed bytes would re-ship them as the receiver's own
+    // modifications, which under false sharing overwrites a concurrent
+    // writer's fresh values with the pushed snapshot (see
+    // `Refusal::MixedWithManagedPhases`). If any boundary keeps the DSM
+    // protocol, every pushable boundary is demoted: to the merged data+sync
+    // exchange when its dependences are nearest-neighbour, to a full
+    // barrier otherwise. Demotion only ever increases what later boundaries
+    // would have pending, so the walk's classifications stay conservative.
+    let any_flush = analyses.iter().any(|a| {
+        matches!(a.class, BoundaryClass::EliminatedBarrier | BoundaryClass::FullBarrier { .. })
+    });
+    if any_flush {
+        for analysis in &mut analyses {
+            if analysis.class != BoundaryClass::Push {
+                continue;
+            }
+            let neighbours = analysis.pairs.iter().all(|d| d.producer.abs_diff(d.consumer) == 1);
+            analysis.class = if neighbours {
+                BoundaryClass::EliminatedBarrier
+            } else {
+                BoundaryClass::FullBarrier {
+                    refusal: Some(Refusal::MixedWithManagedPhases),
+                    gc_forced: false,
+                }
+            };
+        }
+    }
+
+    // GC policy: intervals flushed at eliminated barriers accumulate until
+    // a real barrier distributes a horizon. Within each loop, force a
+    // loop-back boundary to a real barrier whenever eliminated flushes
+    // have happened since the last real barrier — one horizon advance (and
+    // diff-cache trim) at least every iteration that flushes.
+    for &(start, len, times) in &repeats {
+        if len * times < 2 {
+            continue;
+        }
+        let mut flushes_since_barrier = 0usize;
+        for (offset, analysis) in analyses[start..=(start + len * times - 2)].iter_mut().enumerate()
+        {
+            let is_loopback = (offset + 1) % len == 0;
+            if is_loopback
+                && flushes_since_barrier > 0
+                && !matches!(analysis.class, BoundaryClass::FullBarrier { .. })
+            {
+                analysis.class = BoundaryClass::FullBarrier { refusal: None, gc_forced: true };
+            }
+            match analysis.class {
+                BoundaryClass::EliminatedBarrier => flushes_since_barrier += 1,
+                BoundaryClass::FullBarrier { .. } => flushes_since_barrier = 0,
+                BoundaryClass::NoComm | BoundaryClass::Push => {}
+            }
+        }
+    }
+
+    // Summaries aggregate per (prev, next, class) in first-appearance
+    // order; the same phase pair can classify differently at different
+    // occurrences (the pending-write state differs), so class is part of
+    // the key.
+    let mut boundaries: Vec<BoundarySummary> = Vec::new();
+    for (b, w) in occurrences.windows(2).enumerate() {
+        let class = analyses[b].class;
+        match boundaries.iter_mut().find(|s| s.prev == w[0] && s.next == w[1] && s.class == class) {
+            Some(summary) => summary.occurrences += 1,
+            None => {
+                boundaries.push(BoundarySummary { prev: w[0], next: w[1], class, occurrences: 1 })
+            }
+        }
+    }
+
+    // Per-processor plan generation.
+    let plans = (0..nprocs)
+        .map(|me| {
+            let sections_for = |phase: PhaseId| -> Vec<RegularSection> {
+                phases[phase]
+                    .accesses
+                    .iter()
+                    .filter_map(|access| {
+                        let decl = &program.arrays[access.array];
+                        let cols = access
+                            .span
+                            .eval(decl.cols, nprocs, me)
+                            .expect("refused boundaries never reach plan generation");
+                        if cols.is_empty() {
+                            return None;
+                        }
+                        Some(RegularSection::from_ranges(
+                            vec![decl.col_range(cols.start, cols.end)],
+                            access.access,
+                        ))
+                    })
+                    .collect()
+            };
+            // Tracks whether a flush boundary has write-protected a phase's
+            // sections since they were last prepared: `flush_epoch` counts
+            // flush boundaries passed, `prepped_at[phase]` the epoch of the
+            // phase's last preparation.
+            let mut flush_epoch = 0usize;
+            let mut prepped_at: Vec<Option<usize>> = vec![None; phases.len()];
+            let mut steps = Vec::with_capacity(occurrences.len());
+            let first = occurrences[0];
+            steps.push(PlanStep {
+                phase: first,
+                entry: BoundaryOp::Local { prepare: true, sections: sections_for(first) },
+            });
+            prepped_at[first] = Some(flush_epoch);
+            for (b, w) in occurrences.windows(2).enumerate() {
+                let next = w[1];
+                let analysis = &analyses[b];
+                let needs_prep = prepped_at[next].is_none_or(|at| flush_epoch > at);
+                let entry = match analysis.class {
+                    BoundaryClass::NoComm => {
+                        if needs_prep {
+                            prepped_at[next] = Some(flush_epoch);
+                        }
+                        BoundaryOp::Local { prepare: needs_prep, sections: sections_for(next) }
+                    }
+                    BoundaryClass::FullBarrier { .. } => {
+                        // The barrier flushes, then prepares its sections.
+                        flush_epoch += 1;
+                        prepped_at[next] = Some(flush_epoch);
+                        BoundaryOp::Barrier { sections: sections_for(next) }
+                    }
+                    BoundaryClass::EliminatedBarrier => {
+                        flush_epoch += 1;
+                        prepped_at[next] = Some(flush_epoch);
+                        let mut producers: Vec<ProcId> = analysis
+                            .pairs
+                            .iter()
+                            .filter(|d| d.consumer == me)
+                            .map(|d| d.producer)
+                            .collect();
+                        let mut consumers: Vec<ProcId> = analysis
+                            .pairs
+                            .iter()
+                            .filter(|d| d.producer == me)
+                            .map(|d| d.consumer)
+                            .collect();
+                        producers.sort_unstable();
+                        producers.dedup();
+                        consumers.sort_unstable();
+                        consumers.dedup();
+                        BoundaryOp::NeighborSync {
+                            producers,
+                            consumers,
+                            sections: sections_for(next),
+                        }
+                    }
+                    BoundaryClass::Push => {
+                        if needs_prep {
+                            prepped_at[next] = Some(flush_epoch);
+                        }
+                        let sends: Vec<Push> = analysis
+                            .pairs
+                            .iter()
+                            .filter(|d| d.producer == me)
+                            .map(|d| Push { dest: d.consumer, regions: d.regions.clone() })
+                            .collect();
+                        let mut recv_from: Vec<ProcId> = analysis
+                            .pairs
+                            .iter()
+                            .filter(|d| d.consumer == me)
+                            .map(|d| d.producer)
+                            .collect();
+                        recv_from.sort_unstable();
+                        recv_from.dedup();
+                        BoundaryOp::Push {
+                            sends,
+                            recv_from,
+                            prepare: needs_prep,
+                            sections: sections_for(next),
+                        }
+                    }
+                };
+                steps.push(PlanStep { phase: next, entry });
+            }
+            let exit_sections = program
+                .arrays
+                .iter()
+                .filter_map(|decl| {
+                    let own = col_block(decl.cols, nprocs, me);
+                    if own.is_empty() {
+                        return None;
+                    }
+                    Some(RegularSection::from_ranges(
+                        vec![decl.col_range(own.start, own.end)],
+                        Access::Read,
+                    ))
+                })
+                .collect();
+            ProcPlan { steps, exit: BoundaryOp::Local { prepare: false, sections: exit_sections } }
+        })
+        .collect();
+
+    CompiledKernel { nprocs, boundaries, plans }
+}

@@ -126,6 +126,17 @@ define_stats! {
     /// Shared accesses that missed (or were staled out of) the software TLB
     /// and took the slow, table-locked path.
     tlb_misses,
+    /// `Neighbor_sync` calls issued by the compiler interface (blocking or
+    /// split-phase), mirroring `validates`/`validate_w_syncs`/`pushes`.
+    neighbor_syncs,
+    /// Phase boundaries where the compiler replaced a global barrier with a
+    /// point-to-point neighbour synchronization (one count per processor per
+    /// eliminated boundary).
+    barriers_eliminated,
+    /// Merged data+sync messages sent: neighbour-sync acknowledgements that
+    /// carry write notices, vector timestamps and the producer's diffs on a
+    /// single message.
+    merged_sync_msgs,
 }
 
 impl StatsSnapshot {

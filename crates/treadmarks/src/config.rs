@@ -8,7 +8,7 @@ use sp2model::CostModel;
 /// every departure back out of it — simple, but the master serializes O(n)
 /// message handling per barrier. The tree topology spreads that work over a
 /// reduction/broadcast tree so the critical path is O(arity · log n).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BarrierTopology {
     /// The stock master-centric exchange: every processor sends its arrival
     /// straight to processor 0 over the interrupt-driven message path and
@@ -28,16 +28,66 @@ pub enum BarrierTopology {
         /// Fan-out of the reduction/broadcast tree (must be at least 1).
         arity: usize,
     },
+    /// A tree whose fan-out is derived from the cluster size and the cost
+    /// model's hop/service ratio at run start (see
+    /// [`BarrierTopology::optimal_tree_arity`]) instead of a fixed constant:
+    /// deeper trees pay more polled hop latencies on the critical path,
+    /// wider trees serialize more per-child merge work at each node, and the
+    /// best trade-off moves with both `nprocs` and the constants. This is
+    /// the default; `Tree { arity }` remains the explicit-override path.
+    #[default]
+    Adaptive,
 }
 
 impl BarrierTopology {
-    /// The default tree fan-out.
+    /// The fallback tree fan-out (and the arity the adaptive choice is
+    /// benchmarked against).
     pub const DEFAULT_ARITY: usize = 2;
-}
 
-impl Default for BarrierTopology {
-    fn default() -> Self {
-        BarrierTopology::Tree { arity: BarrierTopology::DEFAULT_ARITY }
+    /// Depth of the k-ary-heap tree over `nprocs` nodes: hops from the
+    /// deepest leaf to the root.
+    fn tree_depth(nprocs: usize, arity: usize) -> usize {
+        let mut node = nprocs.saturating_sub(1);
+        let mut depth = 0;
+        while node > 0 {
+            node = (node - 1) / arity;
+            depth += 1;
+        }
+        depth
+    }
+
+    /// The fan-out that minimises the modelled critical path of one barrier
+    /// over `nprocs` processors: per tree level the reduction pays one
+    /// polled message latency plus `arity` per-child hop services, and the
+    /// broadcast pays one hop service, the extra per-destination broadcast
+    /// preparation and another polled message. The candidate set includes
+    /// arity 2, so the adaptive choice is never modelled slower than the
+    /// fixed default (ties resolve to the smaller arity).
+    pub fn optimal_tree_arity(nprocs: usize, cost: &CostModel) -> usize {
+        let mut best = (u64::MAX, Self::DEFAULT_ARITY);
+        for arity in 2..=nprocs.saturating_sub(1).max(2) {
+            let depth = Self::tree_depth(nprocs, arity) as u64;
+            let up = cost.msg_fixed_polled_ns + arity as u64 * cost.barrier_hop_per_child_ns;
+            let down = cost.barrier_hop_per_child_ns
+                + (arity as u64 - 1) * cost.broadcast_extra_per_dest_ns
+                + cost.msg_fixed_polled_ns;
+            let path = depth * (up + down);
+            if path < best.0 {
+                best = (path, arity);
+            }
+        }
+        best.1
+    }
+
+    /// Resolves [`BarrierTopology::Adaptive`] to a concrete tree for the
+    /// given cluster; explicit topologies pass through unchanged.
+    pub fn resolve(self, nprocs: usize, cost: &CostModel) -> BarrierTopology {
+        match self {
+            BarrierTopology::Adaptive => {
+                BarrierTopology::Tree { arity: Self::optimal_tree_arity(nprocs, cost) }
+            }
+            other => other,
+        }
     }
 }
 
@@ -49,7 +99,12 @@ impl Default for BarrierTopology {
 ///
 /// let config = DsmConfig::new(8).with_cost_model(CostModel::sp2());
 /// assert_eq!(config.nprocs, 8);
-/// assert_eq!(config.barrier, BarrierTopology::Tree { arity: 2 });
+/// // The default barrier is a tree whose arity adapts to the cluster.
+/// assert_eq!(config.barrier, BarrierTopology::Adaptive);
+/// assert!(matches!(
+///     config.barrier.resolve(8, &config.cost_model),
+///     BarrierTopology::Tree { arity } if arity >= 2
+/// ));
 /// ```
 #[derive(Debug, Clone)]
 pub struct DsmConfig {
@@ -59,13 +114,13 @@ pub struct DsmConfig {
     pub cost_model: CostModel,
     /// Capacity of the shared heap in bytes.
     pub heap_capacity: usize,
-    /// Barrier exchange topology (default: binary reduction tree).
+    /// Barrier exchange topology (default: adaptive-arity reduction tree).
     pub barrier: BarrierTopology,
 }
 
 impl DsmConfig {
     /// A configuration for `nprocs` processors with the SP/2 cost model,
-    /// the default heap size and the binary-tree barrier.
+    /// the default heap size and the adaptive-arity tree barrier.
     ///
     /// # Panics
     ///
@@ -134,6 +189,47 @@ mod tests {
         assert_eq!(c.barrier, BarrierTopology::Tree { arity: 4 });
         let c = c.with_flat_barrier();
         assert_eq!(c.barrier, BarrierTopology::FlatMaster);
+    }
+
+    #[test]
+    fn adaptive_arity_resolves_and_explicit_overrides_pass_through() {
+        let cost = CostModel::sp2();
+        for nprocs in [1, 2, 4, 8, 16, 32] {
+            let BarrierTopology::Tree { arity } = BarrierTopology::Adaptive.resolve(nprocs, &cost)
+            else {
+                panic!("adaptive must resolve to a tree");
+            };
+            assert!(arity >= 2, "arity {arity} at {nprocs} procs");
+            assert!(arity < nprocs.max(3) || nprocs <= 3);
+        }
+        // Explicit topologies are untouched.
+        assert_eq!(
+            BarrierTopology::Tree { arity: 3 }.resolve(8, &cost),
+            BarrierTopology::Tree { arity: 3 }
+        );
+        assert_eq!(BarrierTopology::FlatMaster.resolve(8, &cost), BarrierTopology::FlatMaster);
+    }
+
+    #[test]
+    fn adaptive_arity_is_never_modelled_slower_than_arity_two() {
+        // The candidate set includes arity 2, so the modelled critical path
+        // of the chosen arity is at most the binary tree's at any size.
+        let cost = CostModel::sp2();
+        let path = |nprocs: usize, arity: usize| {
+            let depth = BarrierTopology::tree_depth(nprocs, arity) as u64;
+            let up = cost.msg_fixed_polled_ns + arity as u64 * cost.barrier_hop_per_child_ns;
+            let down = cost.barrier_hop_per_child_ns
+                + (arity as u64 - 1) * cost.broadcast_extra_per_dest_ns
+                + cost.msg_fixed_polled_ns;
+            depth * (up + down)
+        };
+        for nprocs in [2, 4, 8, 16] {
+            let chosen = BarrierTopology::optimal_tree_arity(nprocs, &cost);
+            assert!(
+                path(nprocs, chosen) <= path(nprocs, 2),
+                "arity {chosen} must not be modelled slower than 2 at {nprocs} procs"
+            );
+        }
     }
 
     #[test]

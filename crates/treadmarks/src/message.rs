@@ -203,6 +203,45 @@ pub enum TmkMessage {
         /// The diffs the provider holds for the requested pages.
         diffs: Vec<DiffRecord>,
     },
+    /// Consumer -> producer at an *eliminated* barrier: the consumer has
+    /// reached the phase boundary and is ready for the producer's merged
+    /// data+sync message. Carries the consumer's (lowered) vector timestamp
+    /// and the pages of its declared read sections, exactly like the
+    /// piggybacked `SyncFetchRequest` of a real barrier — but sent to the
+    /// named producers only, on the polled path.
+    NeighborReady {
+        /// The consuming processor.
+        from: ProcId,
+        /// The neighbour-sync ordinal (compiler-eliminated boundaries are
+        /// globally matched collectives over the named processors, so every
+        /// participant's own count names the same boundary).
+        seq: u64,
+        /// The consumer's advertised vector timestamp (lowered below every
+        /// still-missing interval of the requested pages).
+        vt: Vt,
+        /// The pages of the consumer's declared sections.
+        pages: Vec<PageId>,
+    },
+    /// Producer -> consumer at an eliminated barrier: the merged data+sync
+    /// answer. Write notices, the producer's vector timestamp and the diffs
+    /// for the requested pages ride a single polled message — no tree, no
+    /// departure, no global vector-timestamp advance.
+    NeighborAck {
+        /// The producing processor.
+        from: ProcId,
+        /// The neighbour-sync ordinal of the boundary (see
+        /// [`TmkMessage::NeighborReady`]); a completion accepts only acks at
+        /// its own ordinal, so the stale acks of an abandoned (dropped)
+        /// pending handle are consumed and discarded, never mistaken for a
+        /// later boundary's data.
+        seq: u64,
+        /// The producer's vector timestamp at the boundary.
+        vt: Vt,
+        /// Write notices the consumer's advertised timestamp does not cover.
+        notices: Vec<WriteNotice>,
+        /// The producer's diffs for the requested pages.
+        diffs: Vec<DiffRecord>,
+    },
     /// Point-to-point data exchange replacing a barrier (`Push`).
     PushData {
         /// The sending processor.
@@ -247,6 +286,12 @@ impl TmkMessage {
             }
             TmkMessage::SyncDiffs { diffs, .. } => {
                 12 + diffs.iter().map(DiffRecord::wire_bytes).sum::<usize>()
+            }
+            TmkMessage::NeighborReady { vt, pages, .. } => 12 + vt.wire_bytes() + pages.len() * 4,
+            TmkMessage::NeighborAck { vt, notices, diffs, .. } => {
+                12 + vt.wire_bytes()
+                    + notices.len() * WriteNotice::WIRE_BYTES
+                    + diffs.iter().map(DiffRecord::wire_bytes).sum::<usize>()
             }
             TmkMessage::PushData { chunks, .. } => {
                 4 + chunks.iter().map(|(_, data)| 16 + data.len()).sum::<usize>()

@@ -174,12 +174,20 @@ struct DeferredWrite {
 pub struct PendingSync {
     /// Every page the merged fetch covers.
     pages: Vec<PageId>,
-    /// The barrier ordinal the request rode on: a completion accepts only
-    /// `SyncDiffs` carrying this ordinal, so the responses of an abandoned
-    /// (dropped) handle can never satisfy a later barrier's completion.
+    /// The synchronization ordinal the request rode on (the barrier count
+    /// for barrier-merged fetches, the neighbour-sync count for eliminated
+    /// boundaries): a completion accepts only responses carrying this
+    /// ordinal, so the responses of an abandoned (dropped) handle can never
+    /// satisfy a later synchronization's completion.
     seq: u64,
     /// Processors that will answer with a `SyncDiffs` message (barrier).
     responders: HashSet<ProcId>,
+    /// Named producers of an *eliminated* barrier that will answer with a
+    /// merged data+sync `NeighborAck`. Unlike every other pending kind,
+    /// these acks carry the producers' write notices and vector timestamps,
+    /// so completing the handle is part of the consistency protocol itself —
+    /// a compiled plan always pairs issue with complete.
+    neighbor_responders: HashSet<ProcId>,
     /// Diff records already in hand (lock-grant piggyback), applied at
     /// completion together with everything else so causally ordered
     /// same-page diffs land in rank order across messages.
@@ -195,7 +203,7 @@ pub struct PendingSync {
 impl PendingSync {
     /// Number of response messages still outstanding.
     pub fn outstanding(&self) -> usize {
-        self.responders.len() + self.fetch_expected.len()
+        self.responders.len() + self.neighbor_responders.len() + self.fetch_expected.len()
     }
 
     /// The pages the merged fetch covers.
@@ -492,6 +500,11 @@ pub struct Process {
     /// processor; it sequences `SyncDiffs` responses (see
     /// [`TmkMessage::SyncDiffs`]).
     barrier_seq: u64,
+    /// How many *eliminated* barriers (neighbour syncs) this processor has
+    /// entered. Compiled plans are SPMD-uniform, so the count names the same
+    /// phase boundary on every participant; it sequences `NeighborReady`/
+    /// `NeighborAck` pairs the same way `barrier_seq` sequences `SyncDiffs`.
+    nsync_seq: u64,
     /// How the barrier exchange is structured (from [`DsmConfig::barrier`]).
     barrier: BarrierTopology,
 }
@@ -513,7 +526,8 @@ impl Process {
             tlb: SoftTlb::new(),
             epoch,
             barrier_seq: 0,
-            barrier: config.barrier,
+            nsync_seq: 0,
+            barrier: config.barrier.resolve(config.nprocs, &config.cost_model),
         }
     }
 
@@ -1291,10 +1305,19 @@ impl Process {
     /// again under a single page-table-lock hold. Returns the number of
     /// pages warmed.
     pub fn sync_phase_complete(&mut self, pending: PendingSync) -> usize {
-        let PendingSync { pages, seq, mut responders, piggyback, fetch_expected, deferred, warm } =
-            pending;
+        let PendingSync {
+            pages,
+            seq,
+            mut responders,
+            mut neighbor_responders,
+            piggyback,
+            fetch_expected,
+            deferred,
+            warm,
+        } = pending;
         if pages.is_empty()
             && responders.is_empty()
+            && neighbor_responders.is_empty()
             && piggyback.is_empty()
             && fetch_expected.is_empty()
             && deferred.is_empty()
@@ -1336,11 +1359,53 @@ impl Process {
             responders.remove(&from);
             records.extend(diffs);
         }
+        // The merged data+sync answers of an eliminated barrier: each named
+        // producer's ack carries its vector timestamp, its write notices and
+        // its diffs on one message. As with `SyncDiffs`, acks are accepted
+        // only at this boundary's ordinal; older ones (from a dropped
+        // handle) are consumed and discarded.
+        let mut acked: Vec<(ProcId, Vt, Vec<WriteNotice>)> = Vec::new();
+        while !neighbor_responders.is_empty() {
+            let env = self.recv_reply(|m| {
+                matches!(m, TmkMessage::NeighborAck { from, seq: got, .. }
+                    if *got <= seq && neighbor_responders.contains(from))
+            });
+            self.clock.observe(env.arrives_at);
+            let TmkMessage::NeighborAck { from, seq: got, vt, notices, diffs } = env.payload else {
+                unreachable!()
+            };
+            if got < seq {
+                continue;
+            }
+            neighbor_responders.remove(&from);
+            acked.push((from, vt, notices));
+            records.extend(diffs);
+        }
         // How long the completion actually stalled: with computation between
         // issue and complete, the responses have already arrived and this
         // approaches zero — the split-phase overlap, made measurable.
         let waited = self.clock.now().saturating_sub(before);
         self.shared.stats.sync_wait_ns(waited.as_nanos());
+        // Incorporate the producers' consistency information before the
+        // data: the acks' notices populate the missing lists the record
+        // installation claims against, and the timestamp merge records the
+        // acquire (the consumer now knows everything each producer knew at
+        // the boundary). Processor order keeps the pass deterministic.
+        if !acked.is_empty() {
+            acked.sort_by_key(|(from, _, _)| *from);
+            let (tally, pages_in_use) = {
+                let mut proto = self.shared.proto.lock();
+                let mut table = self.shared.lock_table();
+                let mut all_notices = Vec::new();
+                for (_, vt, notices) in &acked {
+                    proto.vt.merge(vt);
+                    all_notices.extend(notices.iter().copied());
+                }
+                let tally = apply_notices_locked(&mut proto, &mut table, &all_notices);
+                (tally, table.pages_in_use())
+            };
+            self.charge_notices(&tally, pages_in_use);
+        }
         self.install_records(records, &pages, &deferred, &warm)
     }
 
@@ -1618,6 +1683,7 @@ impl Process {
             pages,
             seq: self.barrier_seq,
             responders: HashSet::new(),
+            neighbor_responders: HashSet::new(),
             piggyback,
             fetch_expected,
             deferred,
@@ -1715,6 +1781,7 @@ impl Process {
                 pages,
                 seq,
                 responders: HashSet::new(),
+                neighbor_responders: HashSet::new(),
                 piggyback: Vec::new(),
                 fetch_expected: Vec::new(),
                 deferred,
@@ -1724,6 +1791,8 @@ impl Process {
         let (arity, flat) = match self.barrier {
             BarrierTopology::FlatMaster => ((n - 1).max(1), true),
             BarrierTopology::Tree { arity } => (arity.max(1), false),
+            // Resolved to a concrete tree in `Process::new`.
+            BarrierTopology::Adaptive => unreachable!("adaptive topology is resolved at startup"),
         };
         let children = tree_children(me, n, arity);
         let interrupt = flat;
@@ -1930,11 +1999,155 @@ impl Process {
             pages,
             seq,
             responders,
+            neighbor_responders: HashSet::new(),
             piggyback: Vec::new(),
             fetch_expected: Vec::new(),
             deferred,
             warm: plan.warm.clone(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Eliminated barriers (the run-time half of compiled neighbour syncs)
+    // ------------------------------------------------------------------
+
+    /// The run-time primitive underneath a compiler-**eliminated** barrier:
+    /// a departure-free phase boundary where only the named `producers` and
+    /// `consumers` exchange. Write notices, vector timestamps and diffs ride
+    /// one merged data+sync message per producer/consumer pair
+    /// ([`TmkMessage::NeighborAck`]); there is no reduction tree, no
+    /// departure
+    /// and no global vector-timestamp advance — and therefore no
+    /// garbage-collection horizon movement, which is why a compiled plan
+    /// keeps a real barrier wherever intervals would otherwise accumulate
+    /// unboundedly.
+    ///
+    /// The exchange is a ready/ack handshake. This processor first flushes
+    /// its interval and sends one `NeighborReady` (its advertised timestamp
+    /// plus the plan's page list) to every named producer, then blocks until
+    /// each named *consumer*'s ready has arrived and answers them all — the
+    /// wait is what stops a producer from racing into the next phase and
+    /// answering a ready with data from the consumer's future, so the values
+    /// every processor reads are exactly the barrier ones. Because every
+    /// participant sends its readys *before* blocking, the handshake cannot
+    /// deadlock. The producers' acks are awaited by
+    /// [`sync_phase_complete`](Self::sync_phase_complete), so computation on
+    /// already-local data overlaps the data movement exactly like a
+    /// split-phase `Validate_w_sync`.
+    ///
+    /// **Contract (stronger than a barrier-merged fetch):** the legality of
+    /// the elimination is established by the compiler — the only
+    /// happens-before edges the replaced barrier enforced are the ones
+    /// between the named producers and consumers (see `DESIGN.md` §6) — and
+    /// the returned handle *must* be completed: the acks carry consistency
+    /// information (notices and timestamps), not just data. All participants
+    /// must name each other consistently, like any collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this processor names itself as a producer or consumer.
+    pub fn neighbor_sync_issue(
+        &mut self,
+        producers: &[ProcId],
+        consumers: &[ProcId],
+        plan: &PhasePlan,
+    ) -> PendingSync {
+        self.flush_interval();
+        self.shared.stats.barriers_eliminated(1);
+        self.nsync_seq += 1;
+        let seq = self.nsync_seq;
+        let me = self.proc_id();
+        let mut pages: Vec<PageId> = plan.fetch.iter().flat_map(AddrRange::pages).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        // The request half: one ready per named producer, on the polled
+        // path (the producer is blocked at — or headed for — the same
+        // boundary with its receive pre-posted).
+        let vt = self.sync_vt(&pages);
+        for &producer in producers {
+            assert_ne!(producer, me, "a processor does not synchronize with itself");
+            let msg =
+                TmkMessage::NeighborReady { from: me, seq, vt: vt.clone(), pages: pages.clone() };
+            let bytes = msg.wire_bytes();
+            self.endpoint.send(NodeId(producer), Port::Reply, msg, bytes, self.clock.now(), false);
+        }
+        // Collect (and observe) every consumer's ready before serving any:
+        // observation is a max and serving an addition, so only
+        // observe-all-then-advance keeps virtual time independent of the
+        // real thread-scheduling order the readys arrive in.
+        let mut waiting: HashSet<ProcId> = consumers.iter().copied().collect();
+        assert!(!waiting.contains(&me), "a processor does not synchronize with itself");
+        let mut readys: Vec<(ProcId, Vt, Vec<PageId>)> = Vec::new();
+        while !waiting.is_empty() {
+            let env = self.recv_reply(|m| {
+                matches!(m, TmkMessage::NeighborReady { from, seq: got, .. }
+                    if *got == seq && waiting.contains(from))
+            });
+            self.clock.observe(env.arrives_at);
+            let TmkMessage::NeighborReady { from, vt, pages, .. } = env.payload else {
+                unreachable!()
+            };
+            waiting.remove(&from);
+            readys.push((from, vt, pages));
+        }
+        // Serve in processor order, not arrival order, so every ack leaves
+        // at a deterministic virtual time.
+        readys.sort_by_key(|&(from, _, _)| from);
+        let mut deferred = Vec::new();
+        let (acks, prep, examined, materialised, pages_in_use) = {
+            let mut proto = self.shared.proto.lock();
+            let mut table = self.shared.lock_table();
+            let mut acks = Vec::new();
+            let mut examined: HashSet<PageId> = HashSet::new();
+            let mut materialised = 0usize;
+            for (from, ready_vt, ready_pages) in &readys {
+                let (diffs, full_pages, pages_examined) =
+                    proto.diffs_for_pages_after_counted(ready_pages, ready_vt, &table);
+                examined.extend(pages_examined);
+                materialised += full_pages;
+                let msg = TmkMessage::NeighborAck {
+                    from: me,
+                    seq,
+                    vt: proto.vt.clone(),
+                    notices: proto.notice_log.notices_after(ready_vt),
+                    diffs,
+                };
+                acks.push((*from, msg));
+            }
+            let prep = prep_writes_locked(&mut proto, &mut table, plan, true, &mut deferred);
+            warm_ranges_locked(&mut self.tlb, &table, &plan.warm);
+            (acks, prep, examined.len(), materialised, table.pages_in_use())
+        };
+        self.charge_prep(&prep, pages_in_use);
+        if !readys.is_empty() {
+            // Consuming the pre-posted readys costs one hop service per
+            // consumer, like merging child arrivals at a tree-barrier node.
+            self.clock.advance(self.shared.cost.barrier_hop_cost(readys.len()));
+        }
+        self.clock.advance(self.shared.cost.sync_merge_scan_cost(examined));
+        self.clock.advance(self.shared.cost.diff_create_cost(materialised));
+        for (dest, msg) in acks {
+            let bytes = msg.wire_bytes();
+            self.shared.stats.merged_sync_msgs(1);
+            self.endpoint.send(NodeId(dest), Port::Reply, msg, bytes, self.clock.now(), false);
+        }
+        PendingSync {
+            pages,
+            seq,
+            responders: HashSet::new(),
+            neighbor_responders: producers.iter().copied().collect(),
+            piggyback: Vec::new(),
+            fetch_expected: Vec::new(),
+            deferred,
+            warm: plan.warm.clone(),
+        }
+    }
+
+    /// The blocking form of an eliminated barrier: issue and complete back
+    /// to back. See [`neighbor_sync_issue`](Self::neighbor_sync_issue).
+    pub fn neighbor_sync(&mut self, producers: &[ProcId], consumers: &[ProcId], plan: &PhasePlan) {
+        let pending = self.neighbor_sync_issue(producers, consumers, plan);
+        self.sync_phase_complete(pending);
     }
 }
 

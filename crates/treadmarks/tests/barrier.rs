@@ -80,6 +80,33 @@ fn every_topology_computes_the_same_exchange() {
 }
 
 #[test]
+fn adaptive_arity_is_never_slower_than_arity_two_on_the_virtual_clock() {
+    // The satellite acceptance criterion: the arity derived from `nprocs`
+    // and the cost model's hop/service ratio must beat (or tie) the fixed
+    // binary tree on an actual barrier-heavy run, measured by the virtual
+    // clock, at every size of the standard matrix. `exchange_kernel` needs
+    // at least two processors (the ring read), so nprocs starts at 2.
+    for nprocs in [2usize, 4, 8, 16] {
+        let run_with = |topology: BarrierTopology| {
+            Dsm::run(
+                DsmConfig::new(nprocs).with_cost_model(CostModel::sp2()).with_barrier(topology),
+                exchange_kernel,
+            )
+        };
+        let chosen = BarrierTopology::optimal_tree_arity(nprocs, &CostModel::sp2());
+        let adaptive = run_with(BarrierTopology::Adaptive);
+        let binary = run_with(BarrierTopology::Tree { arity: 2 });
+        assert_eq!(adaptive.results, binary.results, "topology must not change results");
+        assert!(
+            adaptive.execution_time() <= binary.execution_time(),
+            "adaptive arity {chosen} must not be slower than 2 at {nprocs} procs: {} vs {} ns",
+            adaptive.execution_time().as_nanos(),
+            binary.execution_time().as_nanos()
+        );
+    }
+}
+
+#[test]
 fn tree_barrier_virtual_time_is_deterministic() {
     let run = |_: usize| {
         Dsm::run(

@@ -1,0 +1,170 @@
+//! The eliminated-barrier runtime primitive: departure-free neighbour
+//! synchronization where write notices, vector timestamps and diffs ride
+//! one merged data+sync message per named producer/consumer pair.
+
+use pagedmem::{AddrRange, PAGE_SIZE};
+use sp2model::{CostModel, VirtualTime};
+use treadmarks::{Dsm, DsmConfig, PhasePlan, Process};
+
+fn free_config(nprocs: usize) -> DsmConfig {
+    DsmConfig::new(nprocs).with_cost_model(CostModel::free())
+}
+
+/// The named producer/consumer sets of a non-wrapping chain: each processor
+/// exchanges with its immediate neighbours.
+fn chain_neighbours(p: &Process) -> Vec<usize> {
+    let me = p.proc_id();
+    let mut n = Vec::new();
+    if me > 0 {
+        n.push(me - 1);
+    }
+    if me + 1 < p.nprocs() {
+        n.push(me + 1);
+    }
+    n
+}
+
+#[test]
+fn neighbour_sync_delivers_the_producers_modifications() {
+    // Each processor owns one page; after the eliminated barrier every
+    // processor reads its neighbours' pages — exactly the data the acks'
+    // merged notices+diffs must have made consistent.
+    let run = Dsm::run(free_config(4), |p| {
+        let a = p.alloc_array::<u64>(4 * PAGE_SIZE / 8);
+        let per = a.len() / 4;
+        let me = p.proc_id();
+        for i in 0..per {
+            p.set(&a, me * per + i, (100 * me + i) as u64);
+        }
+        let neighbours = chain_neighbours(p);
+        let fetch: Vec<AddrRange> =
+            neighbours.iter().map(|&n| a.range_of(n * per, (n + 1) * per)).collect();
+        p.neighbor_sync(&neighbours, &neighbours, &PhasePlan::fetch_only(&fetch));
+        let faults_before = p.stats().snapshot().page_faults;
+        let sum: u64 = neighbours
+            .iter()
+            .flat_map(|&n| (0..per).map(move |i| n * per + i))
+            .map(|i| p.get(&a, i))
+            .sum();
+        // The merged message already carried everything: no faults.
+        assert_eq!(p.stats().snapshot().page_faults, faults_before);
+        sum
+    });
+    let chunk = |n: u64| (0..512u64).map(|i| 100 * n + i).sum::<u64>();
+    assert_eq!(run.results, vec![chunk(1), chunk(0) + chunk(2), chunk(1) + chunk(3), chunk(2)]);
+    // No barrier was performed and no global state distributed.
+    assert_eq!(run.stats.total().barriers, 0);
+    assert_eq!(run.stats.total().barriers_eliminated, 4);
+    assert!(run.stats.total().merged_sync_msgs > 0);
+}
+
+#[test]
+fn a_lagging_producer_still_delivers_its_diffs_before_first_use() {
+    // Regression test for the eliminated barrier's ordering guarantee: the
+    // consumer's completion must block until the lagging producer's merged
+    // data+sync ack has arrived, so the producer's interval diffs are
+    // applied before the consumer's first use — never stale data.
+    let lag = VirtualTime::from_millis(80);
+    let run = Dsm::run(free_config(2), |p| {
+        let a = p.alloc_array::<u64>(PAGE_SIZE / 8);
+        if p.proc_id() == 0 {
+            for i in 0..a.len() {
+                p.set(&a, i, 7000 + i as u64);
+            }
+            // The producer falls far behind before reaching the boundary.
+            p.compute(lag);
+            p.neighbor_sync(&[], &[1], &PhasePlan::default());
+            0
+        } else {
+            let pending =
+                p.neighbor_sync_issue(&[0], &[], &PhasePlan::fetch_only(&[a.full_range()]));
+            p.sync_phase_complete(pending);
+            // First use: the lagging producer's values, not zeros.
+            p.get(&a, 3)
+        }
+    });
+    assert_eq!(run.results[1], 7003, "the consumer must see the lagging producer's writes");
+    // The consumer actually waited for the producer.
+    assert!(run.elapsed[1] >= lag, "completion must stall until the lagging producer's ack");
+}
+
+#[test]
+fn neighbour_sync_takes_two_messages_per_pair_and_no_global_exchange() {
+    // Two processors: one ready and one ack in each direction — four
+    // messages total, versus the barrier protocol's arrivals, departures
+    // and separate sync-diff responses.
+    let run = Dsm::run(free_config(2), |p| {
+        let a = p.alloc_array::<u64>(2 * PAGE_SIZE / 8);
+        let per = a.len() / 2;
+        let me = p.proc_id();
+        for i in 0..per {
+            p.set(&a, me * per + i, i as u64);
+        }
+        let other = 1 - me;
+        let before = p.stats().snapshot().messages_sent;
+        let fetch = [a.range_of(other * per, (other + 1) * per)];
+        p.neighbor_sync(&[other], &[other], &PhasePlan::fetch_only(&fetch));
+        p.stats().snapshot().messages_sent - before
+    });
+    // Each processor sent exactly one ready and one ack.
+    assert_eq!(run.results, vec![2, 2]);
+    assert_eq!(run.stats.total().merged_sync_msgs, 2);
+}
+
+#[test]
+fn gc_horizon_moves_only_at_surviving_real_barriers() {
+    // Intervals flushed at eliminated barriers accumulate in the diff
+    // caches (no departure distributes a horizon); the surviving real
+    // barrier then advances the horizon and trims them — which is exactly
+    // why compiled plans keep one real barrier per loop iteration.
+    let run = Dsm::run(free_config(2), |p| {
+        let a = p.alloc_array::<u64>(2 * PAGE_SIZE / 8);
+        let per = a.len() / 2;
+        let me = p.proc_id();
+        let other = 1 - me;
+        let fetch = [a.range_of(other * per, (other + 1) * per)];
+        let mut horizon_after_nsync = 0;
+        for round in 0..3u64 {
+            for i in 0..per {
+                p.set(&a, me * per + i, round * 1000 + i as u64);
+            }
+            p.neighbor_sync(&[other], &[other], &PhasePlan::fetch_only(&fetch));
+            horizon_after_nsync = p.gc_horizon().get(me);
+        }
+        assert_eq!(horizon_after_nsync, 0, "an eliminated barrier must not move the GC horizon");
+        let cached_before = p.diff_cache_entries();
+        p.barrier();
+        let trimmed = p.diff_cache_entries();
+        (cached_before, trimmed, p.gc_horizon().get(me))
+    });
+    for &(before, after, horizon) in &run.results {
+        assert!(before >= 3, "three neighbour-sync intervals must be cached: {before}");
+        assert!(after < before, "the real barrier must trim the accumulated diffs");
+        assert!(horizon >= 3, "the real barrier must advance the horizon past the nsync flushes");
+    }
+}
+
+#[test]
+fn neighbour_sync_virtual_time_is_deterministic() {
+    let once = || {
+        Dsm::run(DsmConfig::new(4), |p| {
+            let a = p.alloc_array::<u64>(4 * PAGE_SIZE / 8);
+            let per = a.len() / 4;
+            let me = p.proc_id();
+            let neighbours = chain_neighbours(p);
+            let fetch: Vec<AddrRange> =
+                neighbours.iter().map(|&n| a.range_of(n * per, (n + 1) * per)).collect();
+            for round in 0..3u64 {
+                for i in 0..per {
+                    p.set(&a, me * per + i, round + i as u64);
+                }
+                p.neighbor_sync(&neighbours, &neighbours, &PhasePlan::fetch_only(&fetch));
+            }
+            p.clock().now()
+        })
+    };
+    let a = once();
+    let b = once();
+    assert_eq!(a.results, b.results, "virtual time must not depend on thread scheduling");
+    assert_eq!(a.execution_time(), b.execution_time());
+}
