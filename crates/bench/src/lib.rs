@@ -24,6 +24,14 @@
 //! reasons, message counts) deterministically. (`BENCH_PR4.json` and
 //! earlier are kept alongside as previous milestones' numbers.)
 //!
+//! `cargo run -p dsm-bench -- --race <app>` runs every kernel/variant of
+//! the matrix twice — race detector off and collecting — and writes the
+//! overhead records to `BENCH_PR6.json`. Those records are informational
+//! (never gated); what *is* enforced, by
+//! `detector_off_is_free_and_collect_takes_no_new_table_locks`, is that
+//! `RaceDetect::Off` costs exactly nothing on the gated records and that
+//! `Collect` adds no page-table-lock acquisitions on the warm TLB path.
+//!
 //! Everything here is deterministic: the clocks are *virtual* (message
 //! costs come from the cost model, not the host), the kernels are lock-free
 //! SPMD programs, and the JSON renders records in a fixed order with fixed
@@ -198,6 +206,132 @@ pub fn suite() -> Vec<BenchRecord> {
         ));
     }
     records
+}
+
+/// One detector-overhead measurement: the same kernel/variant/size run
+/// twice, with `RaceDetect::Off` and `RaceDetect::Collect`, under the SP/2
+/// cost model. Informational only — never gated (the detector is a debug
+/// mode; what *is* enforced, by the protocol tests, is that `Off` costs
+/// exactly nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceBenchRecord {
+    /// Kernel name (`"jacobi"`, `"sor"`).
+    pub app: &'static str,
+    /// Variant name.
+    pub variant: &'static str,
+    /// Number of simulated processors.
+    pub nprocs: usize,
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Iterations.
+    pub iters: usize,
+    /// Model execution time with the detector off, in nanoseconds.
+    pub time_ns_off: u64,
+    /// Model execution time with the detector collecting, in nanoseconds.
+    pub time_ns_on: u64,
+    /// Detector overhead in hundredths of a percent (the JSON stays
+    /// float-free): `(on - off) / off * 10_000`.
+    pub overhead_centipct: u64,
+    /// Payload bytes sent with the detector off.
+    pub bytes_off: u64,
+    /// Payload bytes sent with the detector on (creating timestamps ride
+    /// the diff records).
+    pub bytes_on: u64,
+    /// Race reports collected (zero for every analyzer-accepted kernel).
+    pub races: u64,
+}
+
+/// Runs one kernel/variant combination twice — detector off and detector
+/// collecting — and records the overhead.
+pub fn run_race_case(
+    app: &'static str,
+    cfg: GridConfig,
+    nprocs: usize,
+    variant: Variant,
+) -> RaceBenchRecord {
+    let kernel = match app {
+        "jacobi" => jacobi,
+        "sor" => sor,
+        other => panic!("unknown kernel {other:?}"),
+    };
+    let run_with = |detect: treadmarks::RaceDetect| {
+        let config =
+            DsmConfig::new(nprocs).with_cost_model(CostModel::sp2()).with_race_detect(detect);
+        Dsm::run(config, move |p| kernel(p, &cfg, variant))
+    };
+    let off = run_with(treadmarks::RaceDetect::Off);
+    let on = run_with(treadmarks::RaceDetect::Collect);
+    let time_ns_off = off.execution_time().as_nanos();
+    let time_ns_on = on.execution_time().as_nanos();
+    let overhead_centipct =
+        (time_ns_on.saturating_sub(time_ns_off) * 10_000).checked_div(time_ns_off).unwrap_or(0);
+    RaceBenchRecord {
+        app,
+        variant: variant.name(),
+        nprocs,
+        rows: cfg.rows,
+        cols: cfg.cols,
+        iters: cfg.iters,
+        time_ns_off,
+        time_ns_on,
+        overhead_centipct,
+        bytes_off: off.stats.total().bytes_sent,
+        bytes_on: on.stats.total().bytes_sent,
+        races: on.races.len() as u64,
+    }
+}
+
+/// The detector-overhead suite for one kernel (or `"all"`): every variant
+/// across the `nprocs` matrix at the standard suite sizes.
+pub fn race_suite(app: &str) -> Vec<RaceBenchRecord> {
+    let mut records = Vec::new();
+    for (name, cfg) in [("jacobi", JACOBI_CFG), ("sor", SOR_CFG)] {
+        if app != "all" && app != name {
+            continue;
+        }
+        for &nprocs in &NPROCS_MATRIX {
+            for variant in Variant::ALL {
+                records.push(run_race_case(name, cfg, nprocs, variant));
+            }
+        }
+    }
+    records
+}
+
+/// Renders detector-overhead records as deterministic JSON (fixed field
+/// order, one record per line, no floats) under the `dsm-bench/pr6-race`
+/// schema. These records are informational: the regression gate never
+/// reads this file.
+pub fn render_race_json(records: &[RaceBenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"dsm-bench/pr6-race\",\n");
+    out.push_str("  \"gated\": false,\n");
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"app\":\"{}\",\"variant\":\"{}\",\"nprocs\":{},\"rows\":{},\"cols\":{},\
+             \"iters\":{},\"time_ns_off\":{},\"time_ns_on\":{},\"overhead_centipct\":{},\
+             \"bytes_off\":{},\"bytes_on\":{},\"races\":{}}}{comma}\n",
+            r.app,
+            r.variant,
+            r.nprocs,
+            r.rows,
+            r.cols,
+            r.iters,
+            r.time_ns_off,
+            r.time_ns_on,
+            r.overhead_centipct,
+            r.bytes_off,
+            r.bytes_on,
+            r.races,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// The `--explain` dump for one kernel: builds the kernel's IR at the
@@ -615,6 +749,48 @@ mod tests {
                 record.table_lock_acquires
             );
         }
+    }
+
+    #[test]
+    fn detector_off_is_free_and_collect_takes_no_new_table_locks() {
+        // The ISSUE acceptance criterion, self-enforced: with the detector
+        // off, a gated record must be indistinguishable from a plain run —
+        // same model time, same wire bytes — and turning Collect on must
+        // not add a single page-table-lock acquisition on the warm TLB
+        // path (detection reads twins and cached diffs under locks the
+        // protocol already holds).
+        let cfg = GridConfig { rows: 64, cols: 16, iters: 2 };
+        let plain = run_case("sor", cfg, 8, Variant::Compiled);
+        let race = run_race_case("sor", cfg, 8, Variant::Compiled);
+        assert_eq!(race.time_ns_off, plain.time_ns, "Off must match the plain run's model time");
+        assert_eq!(race.bytes_off, plain.bytes, "Off must match the plain run's wire bytes");
+        assert_eq!(race.races, 0, "an analyzer-accepted kernel must run report-free");
+        let run_with = |detect: treadmarks::RaceDetect| {
+            let config =
+                DsmConfig::new(8).with_cost_model(CostModel::sp2()).with_race_detect(detect);
+            Dsm::run(config, move |p| sor(p, &cfg, Variant::Compiled))
+        };
+        let off = run_with(treadmarks::RaceDetect::Off);
+        let on = run_with(treadmarks::RaceDetect::Collect);
+        assert_eq!(
+            on.stats.total().table_lock_acquires,
+            off.stats.total().table_lock_acquires,
+            "Collect must not acquire the page-table lock any additional time"
+        );
+        assert!(on.stats.total().tlb_hits > 0, "the compiled form stays on the TLB fast path");
+    }
+
+    #[test]
+    fn race_records_render_deterministically() {
+        let cfg = GridConfig { rows: 64, cols: 8, iters: 2 };
+        let a = vec![run_race_case("jacobi", cfg, 4, Variant::Push)];
+        let b = vec![run_race_case("jacobi", cfg, 4, Variant::Push)];
+        assert_eq!(
+            render_race_json(&a),
+            render_race_json(&b),
+            "two identical runs must render identically"
+        );
+        assert!(render_race_json(&a).contains("\"gated\": false"), "race records are never gated");
     }
 
     #[test]

@@ -10,28 +10,68 @@
 //!   compiled plan (phase classifications, refusal reasons, message
 //!   counts) deterministically, without running the suite. May be given
 //!   more than once.
+//! * `cargo run -p dsm-bench -- --race <app>` — run `<app>` (`jacobi`,
+//!   `sor` or `all`) in every variant across the cluster matrix twice,
+//!   with the race detector off and collecting, print the overhead table
+//!   and write `BENCH_PR6.json` (path configurable with `--out`). These
+//!   records are informational and never gated.
 
-use dsm_bench::{check_regression, explain_app, render_json, suite};
+use dsm_bench::{check_regression, explain_app, race_suite, render_json, render_race_json, suite};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check = false;
-    let mut out = String::from("BENCH_PR5.json");
+    let mut out: Option<String> = None;
     let mut baseline = String::from("BENCH_PR5.json");
     let mut explain: Vec<String> = Vec::new();
+    let mut race: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => check = true,
-            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--out" => out = Some(it.next().expect("--out needs a path").clone()),
             "--baseline" => baseline = it.next().expect("--baseline needs a path").clone(),
             "--explain" => explain.push(it.next().expect("--explain needs an app name").clone()),
+            "--race" => race = Some(it.next().expect("--race needs an app name").clone()),
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
             }
         }
     }
+
+    if let Some(app) = race {
+        if !matches!(app.as_str(), "jacobi" | "sor" | "all") {
+            eprintln!("unknown kernel {app:?} (known: jacobi, sor, all)");
+            std::process::exit(2);
+        }
+        eprintln!("running the race-detector overhead suite for {app} (SP/2 cost model)...");
+        let records = race_suite(&app);
+        println!(
+            "{:8} {:14} {:>3} {:>12} {:>12} {:>9} {:>12} {:>12} {:>6}",
+            "app", "variant", "np", "off_us", "on_us", "ovhd_%", "bytes_off", "bytes_on", "races"
+        );
+        for r in &records {
+            println!(
+                "{:8} {:14} {:>3} {:>12} {:>12} {:>8}.{:02} {:>12} {:>12} {:>6}",
+                r.app,
+                r.variant,
+                r.nprocs,
+                r.time_ns_off / 1_000,
+                r.time_ns_on / 1_000,
+                r.overhead_centipct / 100,
+                r.overhead_centipct % 100,
+                r.bytes_off,
+                r.bytes_on,
+                r.races
+            );
+        }
+        let out = out.unwrap_or_else(|| String::from("BENCH_PR6.json"));
+        std::fs::write(&out, render_race_json(&records)).expect("write race benchmark output");
+        eprintln!("wrote {out} (informational, not gated)");
+        return;
+    }
+    let out = out.unwrap_or_else(|| String::from("BENCH_PR5.json"));
 
     if !explain.is_empty() {
         for app in &explain {

@@ -62,3 +62,8 @@ pub use api::{
     SectionGrant,
 };
 pub use section::{Access, RegularSection, SyncOp};
+// Race detection rides the same interface: every apply point the calls
+// above funnel into is a detection point, reports come back on
+// `DsmRun::races`, and the mode is selected by `DsmConfig::race_detect`
+// (collectable or fail-fast).
+pub use treadmarks::{RaceAccess, RaceDetect, RaceReport, SyncKind};

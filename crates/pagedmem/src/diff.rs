@@ -123,6 +123,14 @@ impl Diff {
         self.runs.iter().map(|r| r.data.len()).sum()
     }
 
+    /// The modified byte ranges as half-open `(start, end)` offsets within
+    /// the page, sorted and non-overlapping — the diff's *word-write set*,
+    /// without the payload. This is what the race detector intersects
+    /// across intervals.
+    pub fn modified_ranges(&self) -> Vec<(u32, u32)> {
+        self.runs.iter().map(|r| (r.offset, r.offset + r.data.len() as u32)).collect()
+    }
+
     /// Size of the diff as transmitted: run headers plus run payloads.
     ///
     /// Each run costs 8 header bytes (offset + length) in the wire encoding.
@@ -376,6 +384,18 @@ mod tests {
             current[edit] = 1;
             assert_eq!(Diff::create(&twin, &current), reference(&twin, &current));
         }
+    }
+
+    #[test]
+    fn modified_ranges_mirror_the_runs() {
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut current = twin.clone();
+        current[16..32].fill(7);
+        current[2048] = 1;
+        let diff = Diff::create(&twin, &current);
+        assert_eq!(diff.modified_ranges(), vec![(16, 32), (2048, 2052)]);
+        assert!(Diff::create(&twin, &twin).modified_ranges().is_empty());
+        assert_eq!(Diff::full_page(&twin).modified_ranges(), vec![(0, PAGE_SIZE as u32)]);
     }
 
     #[test]

@@ -399,6 +399,33 @@ impl PageTable {
         }
     }
 
+    /// Installs remotely produced `data` starting at `addr`: like
+    /// [`write_bytes`](Self::write_bytes), but mirrored into each page's
+    /// twin (if one exists), exactly as [`apply_diff_batch`](Self::apply_diff_batch)
+    /// mirrors applied diffs. An install moves data, not local
+    /// modifications, so installed bytes must never show up in a later
+    /// twin-vs-page diff as the receiver's own writes.
+    pub fn install_bytes(&mut self, addr: Addr, data: &[u8]) {
+        let mut cursor = addr;
+        let mut written = 0;
+        while written < data.len() {
+            let page = cursor.page();
+            let offset = cursor.page_offset();
+            let chunk = (PAGE_SIZE - offset).min(data.len() - written);
+            let frame = self.frame_or_map(page);
+            let mut guard = frame.lock();
+            guard.page.as_mut_slice()[offset..offset + chunk]
+                .copy_from_slice(&data[written..written + chunk]);
+            if let Some(twin) = guard.twin.as_mut() {
+                twin.as_mut_slice()[offset..offset + chunk]
+                    .copy_from_slice(&data[written..written + chunk]);
+            }
+            drop(guard);
+            written += chunk;
+            cursor = cursor.offset(chunk);
+        }
+    }
+
     /// Reads `range` into `buf` with the protection check and the copy done
     /// under **one frame resolution per page-run** (the bulk entry point the
     /// fast access layer builds on, instead of check + copy per element).
@@ -495,6 +522,24 @@ impl PageTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn installed_bytes_never_reappear_in_a_diff() {
+        let mut table = PageTable::new();
+        let page = PageId(2);
+        table.map_zeroed(page, Protection::ReadWrite);
+        table.make_twin(page);
+        // A local write followed by an install into a disjoint region: the
+        // diff must contain the write and nothing of the install.
+        table.write_bytes(page.base(), &[5, 5, 5, 5]);
+        table.install_bytes(page.base().offset(64), &[9; 16]);
+        let diff = table.create_diff(page).expect("twinned page diffs");
+        assert_eq!(diff.modified_ranges(), vec![(0, 4)]);
+        // The installed bytes are present in the page itself.
+        let mut buf = [0u8; 16];
+        table.read_bytes(page.base().offset(64), &mut buf);
+        assert_eq!(buf, [9; 16]);
+    }
 
     #[test]
     fn unmapped_pages_fault() {

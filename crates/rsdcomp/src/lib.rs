@@ -36,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 mod analysis;
+pub mod differential;
 pub mod exec;
 mod explain;
 mod ir;
@@ -46,6 +47,7 @@ pub use analysis::{
     PendingWrites, Refusal,
 };
 pub use ctrt::{Access, RegularSection, SyncOp};
+pub use differential::{RacyOutcome, RefusalClass};
 pub use explain::explain;
 pub use ir::{
     col_block, ArrayDecl, ArrayId, ColSpan, Node, Phase, PhaseId, Program, SectionAccess,

@@ -313,10 +313,10 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
                     .iter()
                     .filter_map(|access| {
                         let decl = &program.arrays[access.array];
-                        let cols = access
-                            .span
-                            .eval(decl.cols, nprocs, me)
-                            .expect("refused boundaries never reach plan generation");
+                        // A non-affine span has no lowerable section: the
+                        // access is left to demand faulting under the full
+                        // barrier its refusal preserved.
+                        let cols = access.span.eval(decl.cols, nprocs, me)?;
                         if cols.is_empty() {
                             return None;
                         }

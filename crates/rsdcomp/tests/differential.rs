@@ -1,0 +1,69 @@
+//! Differential testing, refuse side: every refusal class's generated
+//! program is (a) statically refused with the matching [`Refusal`] and
+//! (b) dynamically racy — the hand-written execution of the same pattern
+//! without the preserved barrier triggers at least one race report naming
+//! the racy page and a distinct processor pair.
+
+use rsdcomp::{BoundaryClass, Refusal, RefusalClass};
+
+const NPROCS_MATRIX: [usize; 4] = [2, 4, 8, 16];
+
+#[test]
+fn every_refusal_class_is_statically_refused() {
+    for nprocs in NPROCS_MATRIX {
+        for class in RefusalClass::ALL {
+            let kernel = class.compile_refused(nprocs);
+            // The refused boundary keeps a real barrier: nothing about the
+            // program is eliminated or pushed.
+            assert!(
+                kernel.boundaries.iter().all(|b| !matches!(
+                    b.class,
+                    BoundaryClass::EliminatedBarrier | BoundaryClass::Push
+                )),
+                "{} @ {nprocs} procs: refused program must not be optimized",
+                class.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn refusal_names_match_the_analyzer_vocabulary() {
+    assert_eq!(RefusalClass::OverlappingWrites.expected_refusal(), Refusal::OverlappingWrites);
+    assert_eq!(RefusalClass::NonAffine.expected_refusal(), Refusal::NonAffine);
+    assert_eq!(
+        RefusalClass::CrossBlockNoBarrier.expected_refusal(),
+        Refusal::NonNeighbourDependence
+    );
+    for class in RefusalClass::ALL {
+        assert!(!class.name().is_empty());
+    }
+}
+
+#[test]
+fn every_refusal_class_is_dynamically_racy() {
+    for nprocs in NPROCS_MATRIX {
+        for class in RefusalClass::ALL {
+            let outcome = class.run_racy(nprocs);
+            outcome.assert_detected();
+        }
+    }
+}
+
+#[test]
+fn racy_reports_are_deterministic_across_runs() {
+    for class in RefusalClass::ALL {
+        let render = |outcome: &rsdcomp::RacyOutcome| {
+            outcome.races.iter().map(|r| r.to_string()).collect::<Vec<_>>().join("\n")
+        };
+        let first = render(&class.run_racy(4));
+        for _ in 0..2 {
+            assert_eq!(
+                render(&class.run_racy(4)),
+                first,
+                "{}: report list must be byte-identical across runs",
+                class.name()
+            );
+        }
+    }
+}

@@ -137,6 +137,16 @@ define_stats! {
     /// carry write notices, vector timestamps and the producer's diffs on a
     /// single message.
     merged_sync_msgs,
+    /// Data races observed by the on-the-fly detector: concurrent-interval
+    /// pairs with overlapping word-write sets, counted once per detection
+    /// site (the deduplicated report list can be shorter — the same pair may
+    /// be observed by several processors).
+    races_detected,
+    /// Diff applications the race detector could not check because the
+    /// garbage-collection horizon had already folded the relevant interval
+    /// history into a consolidated base (a potential race in the trimmed
+    /// window, counted instead of silently ignored).
+    races_window_trimmed,
 }
 
 impl StatsSnapshot {

@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use racecheck::RaceDetect;
 use sp2model::CostModel;
 
 /// How the barrier exchange is structured across the processors.
@@ -116,6 +117,10 @@ pub struct DsmConfig {
     pub heap_capacity: usize,
     /// Barrier exchange topology (default: adaptive-arity reduction tree).
     pub barrier: BarrierTopology,
+    /// Data-race detection mode (default: off). When enabled, every apply
+    /// of remote modifications checks the incoming word-write sets against
+    /// concurrent local history and records [`racecheck::RaceReport`]s.
+    pub race_detect: RaceDetect,
 }
 
 impl DsmConfig {
@@ -132,6 +137,7 @@ impl DsmConfig {
             cost_model: CostModel::sp2(),
             heap_capacity: pagedmem::SharedAlloc::DEFAULT_CAPACITY,
             barrier: BarrierTopology::default(),
+            race_detect: RaceDetect::Off,
         }
     }
 
@@ -169,6 +175,12 @@ impl DsmConfig {
     pub fn with_flat_barrier(self) -> DsmConfig {
         self.with_barrier(BarrierTopology::FlatMaster)
     }
+
+    /// Replaces the race-detection mode.
+    pub fn with_race_detect(mut self, race_detect: RaceDetect) -> DsmConfig {
+        self.race_detect = race_detect;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +193,14 @@ mod tests {
         assert_eq!(c.nprocs, 4);
         assert_eq!(c.heap_capacity, 1 << 20);
         assert_eq!(c.cost_model, CostModel::free());
+    }
+
+    #[test]
+    fn race_detect_defaults_off_and_builder_overrides() {
+        let c = DsmConfig::new(2);
+        assert_eq!(c.race_detect, RaceDetect::Off);
+        let c = c.with_race_detect(RaceDetect::Collect);
+        assert_eq!(c.race_detect, RaceDetect::Collect);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use msgnet::{Cluster, NodeId, Port};
+use racecheck::{RaceDetect, RaceLog, RaceReport};
 use sp2model::{ClusterStats, VirtualTime};
 
 use crate::config::DsmConfig;
@@ -30,6 +31,11 @@ pub struct DsmRun<R> {
     pub elapsed: Vec<VirtualTime>,
     /// Per-processor protocol statistics.
     pub stats: ClusterStats,
+    /// Data races observed by the detector, in canonical order with
+    /// symmetric observations deduplicated (see
+    /// [`racecheck::RaceLog::drain_sorted`]). Always empty when
+    /// [`DsmConfig::race_detect`] is [`RaceDetect::Off`].
+    pub races: Vec<RaceReport>,
 }
 
 impl<R> DsmRun<R> {
@@ -59,6 +65,11 @@ impl Dsm {
         F: Fn(&mut Process) -> R + Sync,
     {
         let nprocs = config.nprocs;
+        let race_log = match config.race_detect {
+            RaceDetect::Off => None,
+            RaceDetect::Collect => Some(Arc::new(RaceLog::new(false))),
+            RaceDetect::FailFast => Some(Arc::new(RaceLog::new(true))),
+        };
         let endpoints: Vec<Arc<_>> = Cluster::<TmkMessage>::new(nprocs, config.cost_model.clone())
             .into_endpoints()
             .into_iter()
@@ -68,7 +79,13 @@ impl Dsm {
             .iter()
             .enumerate()
             .map(|(id, ep)| {
-                Arc::new(NodeShared::new(id, nprocs, config.cost_model.clone(), ep.stats().clone()))
+                Arc::new(NodeShared::new(
+                    id,
+                    nprocs,
+                    config.cost_model.clone(),
+                    ep.stats().clone(),
+                    race_log.clone(),
+                ))
             })
             .collect();
 
@@ -159,7 +176,8 @@ impl Dsm {
             }
         }
         let stats = endpoints.iter().map(|ep| ep.stats().snapshot()).collect();
-        DsmRun { results, elapsed, stats }
+        let races = race_log.map(|log| log.drain_sorted()).unwrap_or_default();
+        DsmRun { results, elapsed, stats, races }
     }
 }
 

@@ -77,5 +77,6 @@ pub use dsm::{Dsm, DsmRun};
 pub use message::TmkMessage;
 pub use notice::{NoticeLog, WriteNotice};
 pub use process::{FetchHandle, PendingSync, PhasePlan, Process, PushReceipt, SyncOp};
+pub use racecheck::{RaceAccess, RaceDetect, RaceReport, SyncKind};
 pub use sharedarray::{Shareable, SharedArray, SharedMatrix};
 pub use types::{Interval, LockId, ProcId, Vt};

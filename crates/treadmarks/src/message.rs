@@ -32,12 +32,22 @@ pub struct DiffRecord {
     pub base: bool,
     /// The encoded modifications.
     pub diff: Diff,
+    /// The creating interval's full vector timestamp, shipped only when the
+    /// race detector is on (it needs the exact happened-before relation,
+    /// not just the scalar `rank`). `None` in normal operation and for
+    /// consolidated bases, so the detector-off wire traffic — and with it
+    /// the virtual-time accounting — is byte-identical to a build without
+    /// the detector.
+    pub vt: Option<Vt>,
 }
 
 impl DiffRecord {
     /// Approximate wire size of the record.
     pub fn wire_bytes(&self) -> usize {
-        WriteNotice::WIRE_BYTES + 8 + self.diff.encoded_bytes()
+        WriteNotice::WIRE_BYTES
+            + 8
+            + self.diff.encoded_bytes()
+            + self.vt.as_ref().map_or(0, Vt::wire_bytes)
     }
 }
 
@@ -336,10 +346,16 @@ mod tests {
             rank: 2,
             base: false,
             diff: Diff::create(&twin, &cur),
+            vt: None,
         };
         assert!(record.wire_bytes() >= 64);
-        let msg = TmkMessage::DiffResponse { req_id: 7, diffs: vec![record] };
+        let msg = TmkMessage::DiffResponse { req_id: 7, diffs: vec![record.clone()] };
         assert!(msg.wire_bytes() >= 64);
+        // Shipping the creating timestamp (race-detect mode) costs exactly
+        // its wire size; leaving it off costs nothing.
+        let mut with_vt = record.clone();
+        with_vt.vt = Some(Vt::new(4));
+        assert_eq!(with_vt.wire_bytes(), record.wire_bytes() + Vt::new(4).wire_bytes());
     }
 
     #[test]

@@ -198,6 +198,17 @@ pub struct PendingSync {
     deferred: Vec<DeferredWrite>,
     /// Mappings to (re-)warm at completion.
     warm: Vec<(AddrRange, bool)>,
+    /// The synchronization kind a race detected at this completion is
+    /// attributed to in its [`racecheck::RaceReport`].
+    sync_kind: racecheck::SyncKind,
+    /// Race detection only: the pre-acquire vector timestamp of a lock
+    /// issue — the open interval's knowledge *before* the granter's
+    /// timestamp was merged — used as the creating timestamp of the local
+    /// unflushed writes when the grant's diffs are applied. `None` means
+    /// the current timestamp is correct at completion time (barrier and
+    /// neighbour-sync paths flush the interval at issue, so any local dirty
+    /// data at completion was written after the boundary).
+    race_vt: Option<Vt>,
 }
 
 impl PendingSync {
@@ -962,11 +973,17 @@ impl Process {
         let me = proto.me;
         // Happens-before rank of this interval: the timestamp it flushes
         // with. Receivers use it to apply same-page diffs in causal order.
-        let rank = {
+        let vt_after = {
             let mut vt_after = proto.vt.clone();
             vt_after.advance(me, interval);
-            vt_after.sum()
+            vt_after
         };
+        let rank = vt_after.sum();
+        // The full creating timestamp is kept (and later shipped) only when
+        // the race detector is on; otherwise the cache stores the scalar
+        // rank alone and the wire format is byte-identical to a
+        // detector-less build.
+        let creating_vt = self.shared.race.as_ref().map(|_| vt_after);
         let mut flushed_pages = Vec::new();
         let mut delta_pages = 0usize;
         // One protection operation per contiguous run of dirty pages: the
@@ -998,7 +1015,7 @@ impl Process {
                     .diff_cache
                     .entry(page)
                     .or_default()
-                    .insert(interval, CachedDiff { entry, rank });
+                    .insert(interval, CachedDiff { entry, rank, vt: creating_vt.clone() });
                 flushed_pages.push(page);
             }
         }
@@ -1135,7 +1152,7 @@ impl Process {
                 records.extend(diffs);
             }
         }
-        self.install_records(records, &handle.pages, &[], &[]);
+        self.install_records(records, &handle.pages, &[], &[], racecheck::SyncKind::Fetch, None);
     }
 
     /// The single-hold installation step shared by every path that applies
@@ -1147,12 +1164,20 @@ impl Process {
     /// revalidates `pages`, finishes deferred write preparation and warms
     /// the TLB — one global-lock acquisition for the entire step. Returns
     /// the number of pages warmed.
+    /// When the race detector is on, the claimed batch is checked against
+    /// concurrent local history *before* it is applied (applying would
+    /// update the twins the local unflushed write set is read from);
+    /// `sync_kind` labels any report and `race_vt` overrides the creating
+    /// timestamp attributed to the local unflushed writes (the lock path's
+    /// pre-acquire snapshot — see [`PendingSync::race_vt`]).
     fn install_records(
         &mut self,
         mut records: Vec<DiffRecord>,
         pages: &[PageId],
         deferred: &[DeferredWrite],
         warm: &[(AddrRange, bool)],
+        sync_kind: racecheck::SyncKind,
+        race_vt: Option<&Vt>,
     ) -> usize {
         // Consolidated bases apply before the page's interval diffs
         // regardless of rank: a base is the producer's *current copy*,
@@ -1192,6 +1217,9 @@ impl Process {
             if claimed > 0 {
                 applicable.push(record);
             }
+        }
+        if self.shared.race.is_some() {
+            detect_races_locked(&self.shared, &proto, &table, &applicable, sync_kind, race_vt);
         }
         let applied = applicable.len() as u64;
         let apply_bytes: usize = applicable.iter().map(|r| r.diff.encoded_bytes()).sum();
@@ -1314,6 +1342,8 @@ impl Process {
             fetch_expected,
             deferred,
             warm,
+            sync_kind,
+            race_vt,
         } = pending;
         if pages.is_empty()
             && responders.is_empty()
@@ -1406,7 +1436,7 @@ impl Process {
             };
             self.charge_notices(&tally, pages_in_use);
         }
-        self.install_records(records, &pages, &deferred, &warm)
+        self.install_records(records, &pages, &deferred, &warm, sync_kind, race_vt.as_ref())
     }
 
     /// Batch write preparation and TLB warming for a phase whose data is
@@ -1569,7 +1599,7 @@ impl Process {
         assert!(!outstanding.contains(&me), "a processor does not receive its own push");
         // Observe every push before installing anything, then install the
         // whole batch under one hold.
-        let mut received: Vec<(AddrRange, Vec<u8>)> = Vec::new();
+        let mut received: Vec<(ProcId, AddrRange, Vec<u8>)> = Vec::new();
         while !outstanding.is_empty() {
             let env = self.recv_reply(
                 |m| matches!(m, TmkMessage::PushData { from, .. } if outstanding.contains(from)),
@@ -1577,17 +1607,27 @@ impl Process {
             self.clock.observe(env.arrives_at);
             let TmkMessage::PushData { from, chunks } = env.payload else { unreachable!() };
             outstanding.remove(&from);
-            received.extend(chunks);
+            received.extend(chunks.into_iter().map(|(r, d)| (from, r, d)));
         }
         if received.is_empty() {
             return PushReceipt { installed: Vec::new(), pages_warmed: 0 };
         }
-        let installed = AddrRange::coalesce(received.iter().map(|(r, _)| *r).collect());
+        let installed = AddrRange::coalesce(received.iter().map(|&(_, r, _)| r).collect());
         let warm: Vec<(AddrRange, bool)> = installed.iter().map(|&r| (r, false)).collect();
         let pages_warmed = {
+            // The detector needs protocol state (lock order: proto before
+            // table); the detector-off install path takes only the table
+            // lock, exactly as before.
+            let race_proto = self.shared.race.as_ref().map(|_| self.shared.proto.lock());
             let mut table = self.shared.lock_table();
-            for (range, data) in received {
-                table.write_bytes(range.start(), &data);
+            if let Some(proto) = &race_proto {
+                detect_push_races_locked(&self.shared, proto, &table, &received);
+            }
+            for (_, range, data) in received {
+                // Mirrored into any twin: pushed bytes are installed data,
+                // not local modifications, and must not surface in a later
+                // diff (or be race-flagged against the next push).
+                table.install_bytes(range.start(), &data);
             }
             table.bump_epoch();
             warm_ranges_locked(&mut self.tlb, &table, &warm)
@@ -1632,6 +1672,10 @@ impl Process {
             *proto.lock_requests_sent.entry(lock).or_insert(0) += 1;
             (ProtoState::lock_manager(lock, proto.nprocs), proto.vt.clone())
         };
+        // The open interval's knowledge before the acquire merges the
+        // granter's timestamp: writes made so far in this interval are
+        // concurrent with everything this timestamp does not cover.
+        let race_vt = self.shared.race.as_ref().map(|_| request_vt.clone());
         let request_vt = if pages.is_empty() { request_vt } else { self.sync_vt(&pages) };
         let msg = TmkMessage::LockAcquireRequest {
             lock,
@@ -1688,6 +1732,8 @@ impl Process {
             fetch_expected,
             deferred,
             warm: plan.warm.clone(),
+            sync_kind: racecheck::SyncKind::LockGrant,
+            race_vt,
         }
     }
 
@@ -1786,6 +1832,8 @@ impl Process {
                 fetch_expected: Vec::new(),
                 deferred,
                 warm: plan.warm.clone(),
+                sync_kind: racecheck::SyncKind::Barrier,
+                race_vt: None,
             };
         }
         let (arity, flat) = match self.barrier {
@@ -2004,6 +2052,8 @@ impl Process {
             fetch_expected: Vec::new(),
             deferred,
             warm: plan.warm.clone(),
+            sync_kind: racecheck::SyncKind::Barrier,
+            race_vt: None,
         }
     }
 
@@ -2140,6 +2190,8 @@ impl Process {
             fetch_expected: Vec::new(),
             deferred,
             warm: plan.warm.clone(),
+            sync_kind: racecheck::SyncKind::NeighborAck,
+            race_vt: None,
         }
     }
 
@@ -2148,6 +2200,215 @@ impl Process {
     pub fn neighbor_sync(&mut self, producers: &[ProcId], consumers: &[ProcId], plan: &PhasePlan) {
         let pending = self.neighbor_sync_issue(producers, consumers, plan);
         self.sync_phase_complete(pending);
+    }
+}
+
+/// The race detector's apply-point pass, run under the already-held
+/// proto+table lock pair and *before* the claimed batch is applied
+/// (applying updates the twins the local unflushed write set is read from),
+/// so detection adds **zero** lock acquisitions.
+///
+/// Two interval writes race exactly when their creating vector timestamps
+/// are [concurrent](Vt::concurrent) and their word-write sets overlap — the
+/// multiple-writer protocol makes legitimate concurrent diffs word-disjoint,
+/// so overlap is the precise false-sharing/race discriminator. Each incoming
+/// record is compared against (a) the other incoming records of the batch
+/// (so a reader that never wrote still observes a producer/producer race),
+/// (b) this node's own cached interval diffs and (c) its unflushed twin
+/// delta, whose creating timestamp is the current one advanced into the open
+/// interval (`race_vt` overrides the base for the lock path, which merges
+/// the granter's timestamp before installing).
+///
+/// Applications involving garbage-collected history are undecidable rather
+/// than safe: a consolidated base has no single creating timestamp, and an
+/// incoming delta whose creator had not seen this node's trimmed intervals
+/// (`vt[me] < through`) cannot be ordered against them. Both are counted as
+/// `races_window_trimmed` instead of silently ignored.
+fn detect_races_locked(
+    shared: &NodeShared,
+    proto: &ProtoState,
+    table: &pagedmem::PageTable,
+    applicable: &[DiffRecord],
+    sync_kind: racecheck::SyncKind,
+    race_vt: Option<&Vt>,
+) {
+    use racecheck::{overlap, RaceAccess, RaceReport};
+    let me = proto.me;
+    // Creating timestamp the open interval would flush with right now.
+    let local_vt = {
+        let mut vt = race_vt.cloned().unwrap_or_else(|| proto.vt.clone());
+        vt.advance(me, proto.current_interval);
+        vt
+    };
+    let full_page = || vec![(0u32, PAGE_SIZE as u32)];
+    for (idx, record) in applicable.iter().enumerate() {
+        if record.base {
+            // A consolidated base folds the creator's intervals at or
+            // below `record.interval` with no creating timestamps left to
+            // compare. The protocol guarantees the fold is already covered
+            // by this node's view (the GC horizon is the minimum of every
+            // node's *applied* timestamp, and an unapplied racing interval
+            // on a mapped frame pins it — see `ProtoState::applied_vt`),
+            // which orders all local writes after the folded history:
+            // decidably race-free. The counter guards that invariant — a
+            // base whose fold is *not* covered, landing where local write
+            // evidence exists, is an undecidable window and is counted
+            // rather than silently dropped.
+            //
+            // Only records at or below the creator's horizon are trimmed
+            // history; an above-horizon base is the served-current-copy
+            // fallback for an interval that never recorded a diff, whose
+            // owed interval diffs still travel (and are checked)
+            // individually.
+            if record.interval <= proto.gc_horizon.get(record.proc)
+                && local_vt.get(record.proc) < record.interval
+            {
+                let local_partner =
+                    proto.diff_cache.get(&record.page).is_some_and(|m| !m.is_empty())
+                        || proto.trimmed.contains_key(&record.page)
+                        || table.has_twin(record.page);
+                if local_partner {
+                    shared.stats.races_window_trimmed(1);
+                }
+            }
+            continue;
+        }
+        let Some(vq) = &record.vt else { continue };
+        let incoming = record.diff.modified_ranges();
+        if incoming.is_empty() {
+            continue;
+        }
+        // (a) Against the later incoming records of the same batch.
+        for other in &applicable[idx + 1..] {
+            if other.page != record.page || other.base {
+                continue;
+            }
+            let Some(vo) = &other.vt else { continue };
+            if !vq.concurrent(vo) {
+                continue;
+            }
+            let words = overlap(&incoming, &other.diff.modified_ranges());
+            if !words.is_empty() {
+                shared.record_race(RaceReport::new(
+                    record.page,
+                    words,
+                    RaceAccess { proc: record.proc, interval: record.interval },
+                    RaceAccess { proc: other.proc, interval: other.interval },
+                    me,
+                    sync_kind,
+                ));
+            }
+        }
+        // An incoming diff whose creator had not seen this node's own
+        // *trimmed* intervals needs no check here: a local interval folds
+        // only once every node has applied it, and whichever node created
+        // this record checked it against that interval — still live in its
+        // cache, pinned by this node's then-unapplied state — when the
+        // interval arrived there. The symmetric comparison already ran.
+        //
+        // (b) Against this node's own cached interval diffs.
+        if let Some(own) = proto.diff_cache.get(&record.page) {
+            for (&interval, cached) in own {
+                let Some(vm) = &cached.vt else { continue };
+                if !vm.concurrent(vq) {
+                    continue;
+                }
+                let own_ranges = match &cached.entry {
+                    DiffEntry::Delta(diff) => diff.modified_ranges(),
+                    DiffEntry::FullPage => full_page(),
+                };
+                let words = overlap(&incoming, &own_ranges);
+                if !words.is_empty() {
+                    shared.record_race(RaceReport::new(
+                        record.page,
+                        words,
+                        RaceAccess { proc: me, interval },
+                        RaceAccess { proc: record.proc, interval: record.interval },
+                        me,
+                        sync_kind,
+                    ));
+                }
+            }
+        }
+        // (c) Against the unflushed writes of the open interval.
+        if !local_vt.concurrent(vq) {
+            continue;
+        }
+        let dirty = table.frame(record.page).map(|f| f.lock().dirty).unwrap_or(false);
+        let local_ranges = if proto.write_all_pages.contains(&record.page) && dirty {
+            Some(full_page())
+        } else if dirty && table.has_twin(record.page) {
+            table.create_diff(record.page).map(|d| d.modified_ranges())
+        } else {
+            None
+        };
+        if let Some(local_ranges) = local_ranges {
+            let words = overlap(&incoming, &local_ranges);
+            if !words.is_empty() {
+                shared.record_race(RaceReport::new(
+                    record.page,
+                    words,
+                    RaceAccess { proc: me, interval: proto.current_interval },
+                    RaceAccess { proc: record.proc, interval: record.interval },
+                    me,
+                    sync_kind,
+                ));
+            }
+        }
+    }
+}
+
+/// The race detector's pass over a push install, under the held proto+table
+/// lock pair and before the raw bytes land.
+///
+/// A push carries no consistency metadata at all — the compiler's
+/// section analysis is the proof that the pushed region and every
+/// receiver-side write are disjoint. The detector checks exactly that
+/// proof obligation: pushed bytes overlapping this node's unflushed twin
+/// delta (or a page it claimed as `WRITE_ALL`) are a race between the
+/// sender's current interval and the receiver's open one. Pushes name no
+/// interval on the wire, so the sender side of the report carries
+/// interval 0.
+fn detect_push_races_locked(
+    shared: &NodeShared,
+    proto: &ProtoState,
+    table: &pagedmem::PageTable,
+    received: &[(ProcId, AddrRange, Vec<u8>)],
+) {
+    use racecheck::{overlap, RaceAccess, RaceReport, SyncKind};
+    let me = proto.me;
+    for &(from, range, _) in received {
+        for page in range.pages() {
+            let dirty = table.frame(page).map(|f| f.lock().dirty).unwrap_or(false);
+            if !dirty {
+                continue;
+            }
+            let local_ranges = if proto.write_all_pages.contains(&page) {
+                vec![(0u32, PAGE_SIZE as u32)]
+            } else if table.has_twin(page) {
+                match table.create_diff(page) {
+                    Some(diff) => diff.modified_ranges(),
+                    None => continue,
+                }
+            } else {
+                continue;
+            };
+            // The pushed extent clipped to this page, page-relative.
+            let start =
+                range.start().as_usize().max(page.base().as_usize()) - page.base().as_usize();
+            let end = range.end().as_usize().min(page.end().as_usize()) - page.base().as_usize();
+            let words = overlap(&local_ranges, &[(start as u32, end as u32)]);
+            if !words.is_empty() {
+                shared.record_race(RaceReport::new(
+                    page,
+                    words,
+                    RaceAccess { proc: me, interval: proto.current_interval },
+                    RaceAccess { proc: from, interval: 0 },
+                    me,
+                    SyncKind::Push,
+                ));
+            }
+        }
     }
 }
 

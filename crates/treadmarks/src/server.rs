@@ -106,16 +106,20 @@ fn handle_diff_request(
                 rank,
                 base: true,
                 diff: full_page_diff(&table, page),
+                // A base consolidates several intervals; it has no single
+                // creating timestamp. The detector counts its application
+                // against the trimmed-window stat instead.
+                vt: None,
             });
         }
         for &interval in &want.intervals {
-            let (diff, rank, base) = match cached(interval) {
-                Some(CachedDiff { entry: DiffEntry::Delta(diff), rank }) => {
-                    (diff.clone(), *rank, false)
+            let (diff, rank, base, vt) = match cached(interval) {
+                Some(CachedDiff { entry: DiffEntry::Delta(diff), rank, vt }) => {
+                    (diff.clone(), *rank, false, vt.clone())
                 }
-                Some(CachedDiff { entry: DiffEntry::FullPage, rank }) => {
+                Some(CachedDiff { entry: DiffEntry::FullPage, rank, vt }) => {
                     materialised_pages += 1;
-                    (full_page_diff(&table, page), *rank, false)
+                    (full_page_diff(&table, page), *rank, false, vt.clone())
                 }
                 // The diff was never recorded (e.g. a notice relayed for an
                 // interval that never produced one); fall back to the
@@ -124,10 +128,10 @@ fn handle_diff_request(
                 // interval diffs still apply on top of it.
                 None => {
                     materialised_pages += 1;
-                    (full_page_diff(&table, page), proto.vt.sum(), true)
+                    (full_page_diff(&table, page), proto.vt.sum(), true, None)
                 }
             };
-            diffs.push(DiffRecord { page, proc: proto.me, interval, rank, base, diff });
+            diffs.push(DiffRecord { page, proc: proto.me, interval, rank, base, diff, vt });
         }
     }
     drop(table);

@@ -35,6 +35,11 @@ pub(crate) enum DiffEntry {
 pub(crate) struct CachedDiff {
     pub entry: DiffEntry,
     pub rank: u64,
+    /// The creating interval's full vector timestamp, kept only when the
+    /// race detector is on (`None` otherwise): the detector needs the
+    /// exact happened-before relation, where the scalar `rank` only
+    /// approximates it.
+    pub vt: Option<Vt>,
 }
 
 /// What remains of a page's garbage-collected diff history: requests for
@@ -214,6 +219,7 @@ impl ProtoState {
                     rank: cached.rank,
                     base: false,
                     diff,
+                    vt: cached.vt.clone(),
                 });
             }
         }
@@ -306,6 +312,9 @@ pub(crate) struct NodeShared {
     /// Lock-free view of the table's protection epoch, used by the software
     /// TLB to revalidate cached mappings without taking the table lock.
     pub epoch: pagedmem::EpochProbe,
+    /// The run-wide race-report log, present only when detection is on.
+    /// `None` keeps the apply paths on their unhooked fast path.
+    pub race: Option<std::sync::Arc<racecheck::RaceLog>>,
 }
 
 impl NodeShared {
@@ -314,6 +323,7 @@ impl NodeShared {
         nprocs: usize,
         cost: CostModel,
         stats: SharedStats,
+        race: Option<std::sync::Arc<racecheck::RaceLog>>,
     ) -> NodeShared {
         let table = PageTable::new();
         let epoch = table.epoch_probe();
@@ -323,6 +333,7 @@ impl NodeShared {
             stats,
             cost,
             epoch,
+            race,
         }
     }
 
@@ -334,6 +345,16 @@ impl NodeShared {
     pub(crate) fn lock_table(&self) -> std::sync::MutexGuard<'_, PageTable> {
         self.stats.table_lock_acquires(1);
         self.table.lock()
+    }
+
+    /// Counts and logs one detected race. Must only be called when the
+    /// detector is on; panics the run in fail-fast mode (via
+    /// [`racecheck::RaceLog::record`]).
+    pub(crate) fn record_race(&self, report: racecheck::RaceReport) {
+        self.stats.races_detected(1);
+        if let Some(log) = &self.race {
+            log.record(report);
+        }
     }
 }
 
@@ -356,16 +377,14 @@ mod tests {
         let twin = vec![0u8; PAGE_SIZE];
         let mut cur = twin.clone();
         cur[0] = 1;
-        proto
-            .diff_cache
-            .entry(PageId(3))
-            .or_default()
-            .insert(1, CachedDiff { entry: DiffEntry::Delta(Diff::create(&twin, &cur)), rank: 1 });
-        proto
-            .diff_cache
-            .entry(PageId(3))
-            .or_default()
-            .insert(2, CachedDiff { entry: DiffEntry::Delta(Diff::create(&twin, &cur)), rank: 2 });
+        proto.diff_cache.entry(PageId(3)).or_default().insert(
+            1,
+            CachedDiff { entry: DiffEntry::Delta(Diff::create(&twin, &cur)), rank: 1, vt: None },
+        );
+        proto.diff_cache.entry(PageId(3)).or_default().insert(
+            2,
+            CachedDiff { entry: DiffEntry::Delta(Diff::create(&twin, &cur)), rank: 2, vt: None },
+        );
 
         // A requester that has already seen interval 1 of proc 0.
         let mut vt = Vt::new(2);
@@ -388,7 +407,7 @@ mod tests {
             .diff_cache
             .entry(PageId(7))
             .or_default()
-            .insert(1, CachedDiff { entry: DiffEntry::FullPage, rank: 1 });
+            .insert(1, CachedDiff { entry: DiffEntry::FullPage, rank: 1, vt: None });
         let records = proto.diffs_for_pages_after(&[PageId(7)], &Vt::new(2), &table);
         assert_eq!(records.len(), 1);
         let mut page = vec![0u8; PAGE_SIZE];

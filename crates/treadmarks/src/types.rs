@@ -105,6 +105,21 @@ impl Vt {
         self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
     }
 
+    /// Whether the two timestamps are concurrent under the happened-before
+    /// partial order: neither covers the other.
+    ///
+    /// This is the race detector's core predicate. Applied to the
+    /// *creating* timestamps of two intervals (the flushing processor's
+    /// vector just after advancing its own component), it decides whether
+    /// any release/acquire chain orders the intervals — components only
+    /// advance through a processor's own flush or through full-vector
+    /// merges at acquires, so `a.covers(&b)` on creating timestamps is
+    /// exactly "b happened before a". Equal timestamps are *not*
+    /// concurrent (they denote the same knowledge).
+    pub fn concurrent(&self, other: &Vt) -> bool {
+        !self.covers(other) && !other.covers(self)
+    }
+
     /// Whether the modification `(proc, interval)` has been seen.
     pub fn has_seen(&self, p: ProcId, interval: Interval) -> bool {
         self.0[p] >= interval
@@ -184,6 +199,27 @@ mod tests {
         c.advance(0, 9);
         assert!(!c.covers(&b));
         assert!(!b.covers(&c));
+    }
+
+    #[test]
+    fn concurrent_covers_equal_ordered_and_incomparable_pairs() {
+        // Equal: same knowledge, not concurrent.
+        let mut a = Vt::new(2);
+        a.advance(0, 3);
+        a.advance(1, 1);
+        assert!(!a.concurrent(&a.clone()));
+        // Ordered either way: not concurrent.
+        let mut b = a.clone();
+        b.advance(1, 5);
+        assert!(!a.concurrent(&b));
+        assert!(!b.concurrent(&a));
+        // Incomparable: concurrent, symmetrically.
+        let mut c = Vt::new(2);
+        c.advance(0, 9);
+        assert!(b.concurrent(&c));
+        assert!(c.concurrent(&b));
+        // The zero timestamp is covered by everything.
+        assert!(!a.concurrent(&Vt::new(2)));
     }
 
     #[test]

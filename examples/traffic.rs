@@ -4,10 +4,15 @@
 //! step up the interface (`Validate`, `Validate_w_sync`, `Push`) strictly
 //! reduces traffic — and, with the software TLB, the optimized variants
 //! run their access phases without touching the global page-table lock.
-//! The story ends with the *generated* plan: the same pattern described as
-//! a two-phase IR, classified by `rsdcomp` (a pushable ring) and executed
-//! from the compiled plan — landing on the hand-coded push's 4 messages
-//! without a single hand-written protocol call.
+//! The story continues with the *generated* plan: the same pattern
+//! described as a two-phase IR, classified by `rsdcomp` (a pushable ring)
+//! and executed from the compiled plan — landing on the hand-coded push's
+//! 4 messages without a single hand-written protocol call.
+//!
+//! It ends with the cautionary tale: the same exchange run with the
+//! synchronization *removed* and the race detector collecting. Every
+//! protocol variant above is report-free; the unsynchronized one is not,
+//! and the detector names the offending page and processor pair.
 //!
 //! Run with `cargo run --example traffic`.
 
@@ -15,7 +20,7 @@ use ctrt_dsm::ctrt::{push_phase, validate, validate_w_sync, Access, Push, Regula
 use ctrt_dsm::pagedmem::PAGE_SIZE;
 use ctrt_dsm::rsdcomp::{self, ArrayDecl, ColSpan, Node, Phase, SectionAccess};
 use ctrt_dsm::sp2model::CostModel;
-use ctrt_dsm::treadmarks::{Dsm, DsmConfig, Process};
+use ctrt_dsm::treadmarks::{Dsm, DsmConfig, Process, RaceDetect};
 
 const NPROCS: usize = 4;
 const PAGES_PER_PROC: usize = 3;
@@ -123,4 +128,28 @@ fn main() {
         sum
     });
     report("Compiled plan", &run);
+
+    // What the analyzer's refusals protect against: the same producers,
+    // but every processor also read-modify-writes a shared accumulator
+    // word with *no* synchronization before the final barrier. The
+    // detector (a debug mode — off by default, and exactly free when off)
+    // compares the concurrent intervals meeting at the barrier and names
+    // the page and processor pair of every collision.
+    let run = Dsm::run(cfg().with_race_detect(RaceDetect::Collect), |p| {
+        let a = p.alloc_array::<u64>(elems);
+        let me = p.proc_id();
+        for i in 0..chunk {
+            p.set(&a, me * chunk + i, 1 + i as u64);
+        }
+        // Missing lock: concurrent unsynchronized updates of word 0.
+        let old = p.get(&a, 0);
+        p.set(&a, 0, old + 1 + me as u64);
+        p.barrier();
+        (0..chunk).map(|i| p.get(&a, i)).sum::<u64>()
+    });
+    report("Racy exchange", &run);
+    println!("  {} race report(s):", run.races.len());
+    for r in &run.races {
+        println!("    {r}");
+    }
 }

@@ -10,6 +10,7 @@
 //! * [`pagedmem`] — pages, protection state, twins and diffs,
 //! * [`msgnet`] — the simulated cluster interconnect and the PVM-like
 //!   explicit message-passing API,
+//! * [`racecheck`] — the data-race detector's data model and report log,
 //! * [`treadmarks`] — the base lazy-release-consistency DSM runtime,
 //! * [`ctrt`] — the augmented compile-time/run-time interface
 //!   (`Validate`, `Validate_w_sync`, `Push`),
@@ -23,6 +24,7 @@ pub use ctrt;
 pub use dsm_apps;
 pub use msgnet;
 pub use pagedmem;
+pub use racecheck;
 pub use rsdcomp;
 pub use sp2model;
 pub use treadmarks;
