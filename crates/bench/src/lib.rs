@@ -43,7 +43,7 @@
 use dsm_apps::{jacobi, jacobi_program, sor, sor_program, GridConfig, Variant};
 use pagedmem::Addr;
 use sp2model::CostModel;
-use treadmarks::{BarrierTopology, Dsm, DsmConfig, SharedArray, SharedMatrix};
+use treadmarks::{BarrierTopology, Dsm, DsmConfig, NetFaults, SharedArray, SharedMatrix};
 
 /// The schema tag embedded in the JSON output.
 pub const SCHEMA: &str = "dsm-bench/pr5";
@@ -332,6 +332,198 @@ pub fn render_race_json(records: &[RaceBenchRecord]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// The seeded fault schedules the chaos suite runs every case under (three
+/// distinct seeds, drops/duplicates/delays/reorders all enabled — see
+/// [`NetFaults::chaos`]).
+pub const CHAOS_SEEDS: [u64; 3] = [11, 23, 47];
+
+/// One chaos measurement: a kernel/variant/size run fault-free and under
+/// one seeded fault schedule, with the injected-fault counts and the
+/// checksum comparison. Informational only — never gated (what *is*
+/// enforced, by the chaos tests, is `checksums_match` and zero races).
+///
+/// Only sender-side fault counters appear here: they are a pure function of
+/// the schedule and the deterministic virtual-time send sequence, so two
+/// runs of the suite render byte-identically. The receiver-side
+/// `net_dup_drops` counter trails real-time delivery order and is
+/// deliberately excluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosBenchRecord {
+    /// Kernel name (`"jacobi"`, `"sor"`).
+    pub app: &'static str,
+    /// Variant name.
+    pub variant: &'static str,
+    /// Number of simulated processors.
+    pub nprocs: usize,
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Iterations.
+    pub iters: usize,
+    /// Seed of the fault schedule this record ran under.
+    pub seed: u64,
+    /// Model execution time of the fault-free run, in nanoseconds.
+    pub time_ns_clean: u64,
+    /// Model execution time under the fault schedule, in nanoseconds.
+    pub time_ns_chaos: u64,
+    /// Retransmissions the schedule forced (dropped attempts).
+    pub retransmits: u64,
+    /// Messages duplicated in flight.
+    pub dups: u64,
+    /// Messages delivered behind later same-link traffic.
+    pub reorders: u64,
+    /// Messages that suffered injected link delay.
+    pub delays: u64,
+    /// Total virtual nanoseconds of injected latency (retransmission
+    /// timeouts plus link delay).
+    pub added_delay_ns: u64,
+    /// Whether every per-processor checksum was bit-identical to the
+    /// fault-free run (the reliable-delivery layer's whole claim).
+    pub checksums_match: bool,
+    /// Race reports collected under the schedule (must stay zero).
+    pub races: u64,
+}
+
+/// Runs one kernel/variant combination fault-free once and then under each
+/// seeded chaos schedule, comparing checksums bit-for-bit. The race
+/// detector collects in every run so a fault-induced ordering bug would
+/// surface both as a checksum mismatch and as a race report.
+pub fn run_chaos_cases(
+    app: &'static str,
+    cfg: GridConfig,
+    nprocs: usize,
+    variant: Variant,
+    seeds: &[u64],
+) -> Vec<ChaosBenchRecord> {
+    let kernel = match app {
+        "jacobi" => jacobi,
+        "sor" => sor,
+        other => panic!("unknown kernel {other:?}"),
+    };
+    let run_with = |faults: Option<NetFaults>| {
+        let config = DsmConfig::new(nprocs)
+            .with_cost_model(CostModel::sp2())
+            .with_race_detect(treadmarks::RaceDetect::Collect)
+            .with_net_faults(faults);
+        Dsm::run(config, move |p| kernel(p, &cfg, variant))
+    };
+    let clean = run_with(None);
+    let bits = |run: &treadmarks::DsmRun<f64>| {
+        run.results.iter().map(|s| s.to_bits()).collect::<Vec<u64>>()
+    };
+    let clean_bits = bits(&clean);
+    let time_ns_clean = clean.execution_time().as_nanos();
+    seeds
+        .iter()
+        .map(|&seed| {
+            let chaos = run_with(Some(NetFaults::chaos(seed)));
+            let t = chaos.stats.total();
+            ChaosBenchRecord {
+                app,
+                variant: variant.name(),
+                nprocs,
+                rows: cfg.rows,
+                cols: cfg.cols,
+                iters: cfg.iters,
+                seed,
+                time_ns_clean,
+                time_ns_chaos: chaos.execution_time().as_nanos(),
+                retransmits: t.net_retransmits,
+                dups: t.net_dups,
+                reorders: t.net_reorders,
+                delays: t.net_delays,
+                added_delay_ns: t.net_added_delay_ns,
+                checksums_match: bits(&chaos) == clean_bits,
+                races: chaos.races.len() as u64,
+            }
+        })
+        .collect()
+}
+
+/// The chaos suite for one kernel (or `"all"`): every variant at
+/// `nprocs` ∈ {2, 4, 8} under each [`CHAOS_SEEDS`] schedule, at the
+/// standard suite sizes.
+pub fn chaos_suite(app: &str) -> Vec<ChaosBenchRecord> {
+    let mut records = Vec::new();
+    for (name, cfg) in [("jacobi", JACOBI_CFG), ("sor", SOR_CFG)] {
+        if app != "all" && app != name {
+            continue;
+        }
+        for nprocs in [2, 4, 8] {
+            for variant in Variant::ALL {
+                records.extend(run_chaos_cases(name, cfg, nprocs, variant, &CHAOS_SEEDS));
+            }
+        }
+    }
+    records
+}
+
+/// Renders chaos records as deterministic JSON (fixed field order, one
+/// record per line, no floats) under the `dsm-bench/pr7-chaos` schema.
+/// These records are informational: the regression gate never reads this
+/// file.
+pub fn render_chaos_json(records: &[ChaosBenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"dsm-bench/pr7-chaos\",\n");
+    out.push_str("  \"gated\": false,\n");
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"app\":\"{}\",\"variant\":\"{}\",\"nprocs\":{},\"rows\":{},\"cols\":{},\
+             \"iters\":{},\"seed\":{},\"time_ns_clean\":{},\"time_ns_chaos\":{},\
+             \"retransmits\":{},\"dups\":{},\"reorders\":{},\"delays\":{},\
+             \"added_delay_ns\":{},\"checksums_match\":{},\"races\":{}}}{comma}\n",
+            r.app,
+            r.variant,
+            r.nprocs,
+            r.rows,
+            r.cols,
+            r.iters,
+            r.seed,
+            r.time_ns_clean,
+            r.time_ns_chaos,
+            r.retransmits,
+            r.dups,
+            r.reorders,
+            r.delays,
+            r.added_delay_ns,
+            r.checksums_match,
+            r.races,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The chaos suite's pass/fail summary: `Err` (with one line per offending
+/// record) when any record's checksums diverged from the fault-free run or
+/// any race was reported — the `--chaos` CLI exits non-zero on it.
+///
+/// # Errors
+///
+/// Returns `Err` when any record has `checksums_match == false` or
+/// `races > 0`.
+pub fn check_chaos(records: &[ChaosBenchRecord]) -> Result<(), String> {
+    let failures: Vec<String> = records
+        .iter()
+        .filter(|r| !r.checksums_match || r.races > 0)
+        .map(|r| {
+            format!(
+                "{}/{}@{} seed {}: checksums_match={}, races={}",
+                r.app, r.variant, r.nprocs, r.seed, r.checksums_match, r.races
+            )
+        })
+        .collect();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
 }
 
 /// The `--explain` dump for one kernel: builds the kernel's IR at the
@@ -815,5 +1007,95 @@ mod tests {
             tree.time_ns,
             flat.time_ns
         );
+    }
+
+    #[test]
+    fn chaos_records_render_deterministically() {
+        // The deterministic-rerun guarantee extended to the chaos output:
+        // the record holds only sender-side fault counters (pure functions
+        // of the seeded schedule), so two identical suite invocations must
+        // render byte-identically.
+        let cfg = GridConfig { rows: 64, cols: 8, iters: 2 };
+        let a = run_chaos_cases("jacobi", cfg, 4, Variant::Push, &CHAOS_SEEDS);
+        let b = run_chaos_cases("jacobi", cfg, 4, Variant::Push, &CHAOS_SEEDS);
+        assert_eq!(
+            render_chaos_json(&a),
+            render_chaos_json(&b),
+            "two identical runs must render identically"
+        );
+        assert!(
+            render_chaos_json(&a).contains("\"gated\": false"),
+            "chaos records are never gated"
+        );
+    }
+
+    #[test]
+    fn chaos_cases_inject_faults_and_stay_transparent() {
+        // What the `--chaos` CLI enforces, self-enforced in miniature: the
+        // schedules must not be vacuously clean, the checksums must survive
+        // them bit-for-bit, and the injected latency must show up in the
+        // modelled time.
+        let cfg = GridConfig { rows: 64, cols: 8, iters: 2 };
+        let records = run_chaos_cases("sor", cfg, 4, Variant::TreadMarks, &CHAOS_SEEDS);
+        assert_eq!(records.len(), CHAOS_SEEDS.len());
+        check_chaos(&records).expect("faults must be invisible to the application");
+        let injected: u64 =
+            records.iter().map(|r| r.retransmits + r.dups + r.reorders + r.delays).sum();
+        assert!(injected > 0, "the schedules must actually inject faults");
+        assert!(
+            records.iter().any(|r| r.time_ns_chaos > r.time_ns_clean),
+            "injected latency must be visible in the modelled time"
+        );
+        // And the failure direction: a doctored record must trip the check.
+        let mut bad = records;
+        bad[0].checksums_match = false;
+        let err = check_chaos(&bad).expect_err("a checksum mismatch must fail the suite");
+        assert!(err.contains("seed"), "the error names the offending schedule: {err}");
+    }
+
+    #[test]
+    fn net_faults_off_is_bit_identical_to_the_checked_in_baseline() {
+        // The ISSUE acceptance criterion, cross-commit-enforced: with
+        // faults Off (the default), every gated record must reproduce the
+        // checked-in pre-reliability baseline *exactly* — same model time,
+        // same wire bytes, same table-lock count — proving the reliable-
+        // delivery layer costs literally nothing when disabled. Any header
+        // byte, extra lock, or timing nudge on the Off path breaks this.
+        let baseline_json =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json"))
+                .expect("the checked-in BENCH_PR5.json baseline");
+        for &(app, variant_name, nprocs) in &GATED {
+            let (cfg, variant) = match (app, variant_name) {
+                ("jacobi", "push") => (JACOBI_CFG, Variant::Push),
+                ("sor", "validate") => (SOR_CFG, Variant::Validate),
+                ("sor", "compiled") => (SOR_CFG, Variant::Compiled),
+                other => panic!("unmapped gated record {other:?}"),
+            };
+            let cur = run_case(app, cfg, nprocs, variant);
+            let line = baseline_json
+                .lines()
+                .find(|l| {
+                    str_field(l, "app").as_deref() == Some(app)
+                        && str_field(l, "variant").as_deref() == Some(variant_name)
+                        && u64_field(l, "nprocs") == Some(nprocs as u64)
+                })
+                .unwrap_or_else(|| panic!("baseline line for {app}/{variant_name}@{nprocs}"));
+            let key = format!("{app}/{variant_name}@{nprocs}");
+            assert_eq!(
+                Some(cur.time_ns),
+                u64_field(line, "time_ns"),
+                "{key}: faults-Off model time must equal the baseline exactly"
+            );
+            assert_eq!(
+                Some(cur.bytes),
+                u64_field(line, "bytes"),
+                "{key}: faults-Off wire bytes must equal the baseline exactly"
+            );
+            assert_eq!(
+                Some(cur.table_lock_acquires),
+                u64_field(line, "table_lock_acquires"),
+                "{key}: faults-Off table-lock count must equal the baseline exactly"
+            );
+        }
     }
 }

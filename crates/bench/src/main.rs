@@ -15,8 +15,18 @@
 //!   with the race detector off and collecting, print the overhead table
 //!   and write `BENCH_PR6.json` (path configurable with `--out`). These
 //!   records are informational and never gated.
+//! * `cargo run -p dsm-bench -- --chaos <app>` — run `<app>` (`jacobi`,
+//!   `sor` or `all`) in every variant at 2/4/8 processors under three
+//!   seeded fault schedules, assert every checksum bit-identical to the
+//!   fault-free run (non-zero exit otherwise), print the fault-injection
+//!   table and write `BENCH_PR7.json` (path configurable with `--out`).
+//!   The records themselves are informational and never gated; only
+//!   checksum transparency and race freedom are enforced.
 
-use dsm_bench::{check_regression, explain_app, race_suite, render_json, render_race_json, suite};
+use dsm_bench::{
+    chaos_suite, check_chaos, check_regression, explain_app, race_suite, render_chaos_json,
+    render_json, render_race_json, suite,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +35,7 @@ fn main() {
     let mut baseline = String::from("BENCH_PR5.json");
     let mut explain: Vec<String> = Vec::new();
     let mut race: Option<String> = None;
+    let mut chaos: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -33,11 +44,62 @@ fn main() {
             "--baseline" => baseline = it.next().expect("--baseline needs a path").clone(),
             "--explain" => explain.push(it.next().expect("--explain needs an app name").clone()),
             "--race" => race = Some(it.next().expect("--race needs an app name").clone()),
+            "--chaos" => chaos = Some(it.next().expect("--chaos needs an app name").clone()),
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(app) = chaos {
+        if !matches!(app.as_str(), "jacobi" | "sor" | "all") {
+            eprintln!("unknown kernel {app:?} (known: jacobi, sor, all)");
+            std::process::exit(2);
+        }
+        eprintln!("running the chaos suite for {app} (SP/2 cost model, seeded fault schedules)...");
+        let records = chaos_suite(&app);
+        println!(
+            "{:8} {:14} {:>3} {:>5} {:>12} {:>12} {:>7} {:>5} {:>7} {:>7} {:>6} {:>6}",
+            "app",
+            "variant",
+            "np",
+            "seed",
+            "clean_us",
+            "chaos_us",
+            "retrans",
+            "dups",
+            "reorder",
+            "delays",
+            "match",
+            "races"
+        );
+        for r in &records {
+            println!(
+                "{:8} {:14} {:>3} {:>5} {:>12} {:>12} {:>7} {:>5} {:>7} {:>7} {:>6} {:>6}",
+                r.app,
+                r.variant,
+                r.nprocs,
+                r.seed,
+                r.time_ns_clean / 1_000,
+                r.time_ns_chaos / 1_000,
+                r.retransmits,
+                r.dups,
+                r.reorders,
+                r.delays,
+                r.checksums_match,
+                r.races
+            );
+        }
+        let out = out.unwrap_or_else(|| String::from("BENCH_PR7.json"));
+        std::fs::write(&out, render_chaos_json(&records)).expect("write chaos benchmark output");
+        eprintln!("wrote {out} (informational, not gated)");
+        if let Err(err) = check_chaos(&records) {
+            eprintln!("chaos transparency FAILED:\n{err}");
+            std::process::exit(1);
+        }
+        eprintln!("chaos transparency held: every checksum bit-identical, zero races");
+        return;
     }
 
     if let Some(app) = race {

@@ -50,6 +50,26 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout; senders remain.
+    Timeout,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 struct Shared<T> {
     queue: Mutex<VecDeque<T>>,
     ready: Condvar,
@@ -134,6 +154,42 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Blocks until a message is available, every sender has been dropped, or
+    /// `timeout` (real time) elapses. The timeout is a liveness backstop —
+    /// callers use it to turn a wedged protocol into a diagnosable failure —
+    /// so the deadline is measured against the wall clock, not virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError::Timeout`] when the deadline passes with the
+    /// channel still empty, and [`RecvTimeoutError::Disconnected`] when the
+    /// channel is empty and every sender is gone.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut queue = self.shared.lock_queue();
+        loop {
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            // Spurious wakeups are handled by the loop; the deadline is
+            // rechecked each iteration so the total wait never exceeds it.
+            queue = self
+                .shared
+                .ready
+                .wait_timeout(queue, remaining)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
     /// Pops a message if one is queued.
     ///
     /// # Errors
@@ -200,6 +256,44 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         drop(tx);
         assert_eq!(handle.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_messages_immediately() {
+        let (tx, rx) = unbounded();
+        tx.send(3);
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(3));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_an_empty_connected_channel() {
+        let (_tx, rx) = unbounded::<u8>();
+        let start = std::time::Instant::now();
+        let got = rx.recv_timeout(std::time::Duration::from_millis(20));
+        assert_eq!(got, Err(RecvTimeoutError::Timeout));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(20));
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnection() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        let (tx, rx) = unbounded::<u8>();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                tx.send(9);
+            });
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(9));
+        });
     }
 
     #[test]

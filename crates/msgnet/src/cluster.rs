@@ -1,12 +1,49 @@
 //! Clusters of endpoints connected by in-process channels.
+//!
+//! With fault injection off (the default) an endpoint is a thin wrapper over
+//! the per-port channels: `send` stamps an [`Envelope`] with its modelled
+//! arrival time and enqueues it, `recv` pops. With a
+//! [`NetFaults`](crate::NetFaults) configuration installed, a reliable-
+//! delivery sublayer slots in between:
+//!
+//! * **Send side** — every inter-node message gets a per-(link, port)
+//!   sequence number and a piggybacked cumulative ack
+//!   ([`ReliaHeader`](crate::ReliaHeader), charged at
+//!   [`RELIA_HEADER_BYTES`](crate::RELIA_HEADER_BYTES) on the wire). The
+//!   seeded [`FaultPlan`](crate::FaultPlan) decides the message's fate;
+//!   dropped attempts are masked by modelled retransmissions whose timeouts
+//!   (virtual time, [`RetryPolicy`](crate::RetryPolicy)) are added to the
+//!   arrival time, duplicates are enqueued twice, and exhausting
+//!   `max_attempts` aborts the send with a
+//!   [`DeliveryExpired`](crate::DeliveryExpired) panic payload instead of
+//!   losing the message. Because the plan is a pure function of the message
+//!   identity, the sender can resolve the whole retransmission exchange at
+//!   send time — so *exactly one* logical copy (plus injected duplicates) is
+//!   always enqueued, and no fault schedule can make a receiver wait for a
+//!   message that never comes.
+//! * **Receive side** — three stages per port: a reorder stage that defers
+//!   plan-marked laggards until the channel drains (modelling delivery
+//!   behind later traffic), a dedup window that discards already-seen
+//!   sequence numbers, and a per-link resequencing buffer that restores
+//!   send order. The application above the layer sees exactly the fault-free
+//!   delivery semantics.
+//!
+//! Faults-off runs carry `relia: None` envelopes and never touch any of the
+//! above — bit-identical wire accounting and model time to a build without
+//! the layer.
 
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use dsm_core::channel::{unbounded, Receiver, Sender};
+use dsm_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use dsm_core::sync::Mutex;
 use sp2model::{CostModel, SharedStats, VirtualTime};
 
-use crate::{Envelope, NetError, NodeId};
+use crate::envelope::RELIA_HEADER_BYTES;
+use crate::fault::{DeliveryExpired, MsgKey, NetFaults};
+use crate::{Envelope, NetError, NodeId, ReliaHeader};
 
 /// The two logical delivery ports of a node.
 ///
@@ -34,6 +71,78 @@ impl<M> Clone for Mailbox<M> {
     }
 }
 
+/// Sender-side state of the reliable-delivery layer.
+#[derive(Default)]
+struct TxState {
+    /// Next sequence number per (destination, port) lane.
+    next_seq: HashMap<(NodeId, Port), u64>,
+    /// Logical messages sent per destination (both ports, excluding injected
+    /// duplicates — the receiver acks logical messages).
+    sent_to: HashMap<NodeId, u64>,
+    /// Highest cumulative ack observed from each peer.
+    acked_by: HashMap<NodeId, u64>,
+}
+
+/// Per-link receive lane: the dedup window and resequencing buffer.
+struct RxLane<M> {
+    /// Sequence number the next in-order delivery must carry. Everything
+    /// below is a duplicate (the window); everything above waits its turn.
+    next_expected: u64,
+    /// Out-of-order arrivals parked until the gap below them fills.
+    buffer: BTreeMap<u64, Envelope<M>>,
+}
+
+impl<M> Default for RxLane<M> {
+    fn default() -> Self {
+        RxLane { next_expected: 0, buffer: BTreeMap::new() }
+    }
+}
+
+/// Receiver-side state of one port.
+struct RxPort<M> {
+    /// In-order messages ready for the application.
+    ready: VecDeque<Envelope<M>>,
+    /// Plan-marked laggards, held back until the channel drains.
+    deferred: VecDeque<Envelope<M>>,
+    /// Per-source lanes.
+    lanes: HashMap<NodeId, RxLane<M>>,
+}
+
+impl<M> Default for RxPort<M> {
+    fn default() -> Self {
+        RxPort { ready: VecDeque::new(), deferred: VecDeque::new(), lanes: HashMap::new() }
+    }
+}
+
+/// Everything the reliable-delivery layer keeps per endpoint. Absent
+/// (`None` on the endpoint) when fault injection is off.
+struct ReliaState<M> {
+    config: Arc<NetFaults>,
+    tx: Mutex<TxState>,
+    rx_request: Mutex<RxPort<M>>,
+    rx_reply: Mutex<RxPort<M>>,
+    /// In-order deliveries per source, both ports — the value piggybacked as
+    /// the cumulative ack on outgoing traffic.
+    delivered: Mutex<HashMap<NodeId, u64>>,
+    /// Clones an envelope for duplicate injection. A plain `fn` pointer
+    /// instantiated where `M: Clone` is known, so `send` itself needs no
+    /// `Clone` bound.
+    clone_env: fn(&Envelope<M>) -> Envelope<M>,
+}
+
+impl<M> ReliaState<M> {
+    fn rx_state(&self, port: Port) -> &Mutex<RxPort<M>> {
+        match port {
+            Port::Request => &self.rx_request,
+            Port::Reply => &self.rx_reply,
+        }
+    }
+}
+
+fn clone_envelope<M: Clone>(env: &Envelope<M>) -> Envelope<M> {
+    env.clone()
+}
+
 /// A fully connected simulated cluster of `n` nodes.
 ///
 /// `Cluster` is a factory: build it once, then
@@ -50,6 +159,10 @@ impl<M: Send> Cluster<M> {
     ///
     /// Panics if `nodes` is zero.
     pub fn new(nodes: usize, cost_model: CostModel) -> Cluster<M> {
+        Cluster::build(nodes, cost_model, None)
+    }
+
+    fn build(nodes: usize, cost_model: CostModel, faults: Option<ReliaFactory<M>>) -> Cluster<M> {
         assert!(nodes > 0, "a cluster needs at least one node");
         let cost_model = Arc::new(cost_model);
         let mut mailboxes = Vec::with_capacity(nodes);
@@ -71,14 +184,67 @@ impl<M: Send> Cluster<M> {
                 reply_rx,
                 cost_model: Arc::clone(&cost_model),
                 stats: SharedStats::new(),
+                relia: faults.as_ref().map(|f| f.fresh()),
             })
             .collect();
         Cluster { endpoints }
     }
 
-    /// Consumes the cluster, yielding one endpoint per node (index = node id).
+    /// Consumes the cluster, yielding one endpoint per node (index = node
+    /// id), so destructure by indexing rather than by popping in reverse:
+    ///
+    /// ```
+    /// use msgnet::{Cluster, NodeId};
+    /// use sp2model::CostModel;
+    ///
+    /// let endpoints = Cluster::<u32>::new(3, CostModel::sp2()).into_endpoints();
+    /// assert_eq!(endpoints.len(), 3);
+    /// for (i, endpoint) in endpoints.iter().enumerate() {
+    ///     assert_eq!(endpoint.id(), NodeId(i));
+    /// }
+    /// ```
     pub fn into_endpoints(self) -> Vec<Endpoint<M>> {
         self.endpoints
+    }
+}
+
+impl<M: Send + Clone> Cluster<M> {
+    /// Creates a cluster with an optional fault-injection configuration.
+    /// `None` is exactly [`Cluster::new`]; `Some` enables the seeded fault
+    /// plan and the reliable-delivery sublayer on every endpoint.
+    ///
+    /// Requires `M: Clone` so the plan can inject duplicate copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new_with_faults(
+        nodes: usize,
+        cost_model: CostModel,
+        faults: Option<NetFaults>,
+    ) -> Cluster<M> {
+        let factory =
+            faults.map(|f| ReliaFactory { config: Arc::new(f), clone_env: clone_envelope::<M> });
+        Cluster::build(nodes, cost_model, factory)
+    }
+}
+
+/// Builds one fresh [`ReliaState`] per endpoint around a shared config.
+struct ReliaFactory<M> {
+    config: Arc<NetFaults>,
+    clone_env: fn(&Envelope<M>) -> Envelope<M>,
+}
+
+impl<M> ReliaFactory<M> {
+    fn fresh(&self) -> ReliaState<M> {
+        ReliaState {
+            config: Arc::clone(&self.config),
+            tx: Mutex::new(TxState::default()),
+            rx_request: Mutex::new(RxPort::default()),
+            rx_reply: Mutex::new(RxPort::default()),
+            delivered: Mutex::new(HashMap::new()),
+            clone_env: self.clone_env,
+        }
     }
 }
 
@@ -104,6 +270,7 @@ pub struct Endpoint<M> {
     reply_rx: Receiver<Envelope<M>>,
     cost_model: Arc<CostModel>,
     stats: SharedStats,
+    relia: Option<ReliaState<M>>,
 }
 
 impl<M: Send> Endpoint<M> {
@@ -127,6 +294,37 @@ impl<M: Send> Endpoint<M> {
         &self.stats
     }
 
+    /// The fault configuration this cluster was built with, if any.
+    pub fn faults(&self) -> Option<&NetFaults> {
+        self.relia.as_ref().map(|r| &*r.config)
+    }
+
+    /// Logical messages sent to `peer` whose cumulative ack has not yet come
+    /// back on reverse traffic — the modelled retransmission-buffer
+    /// occupancy. Always zero with fault injection off.
+    pub fn unacked(&self, peer: NodeId) -> u64 {
+        let Some(relia) = &self.relia else { return 0 };
+        let tx = relia.tx.lock();
+        let sent = tx.sent_to.get(&peer).copied().unwrap_or(0);
+        let acked = tx.acked_by.get(&peer).copied().unwrap_or(0);
+        sent.saturating_sub(acked)
+    }
+
+    fn rx_chan(&self, port: Port) -> &Receiver<Envelope<M>> {
+        match port {
+            Port::Request => &self.request_rx,
+            Port::Reply => &self.reply_rx,
+        }
+    }
+
+    fn mailbox_tx(&self, dst: NodeId, port: Port) -> &Sender<Envelope<M>> {
+        let mailbox = &self.mailboxes[dst.index()];
+        match port {
+            Port::Request => &mailbox.request_tx,
+            Port::Reply => &mailbox.reply_tx,
+        }
+    }
+
     /// Sends `payload` of modelled size `payload_bytes` to `dst`, issued at
     /// local virtual time `sent_at`. Returns the virtual time at which the
     /// message arrives.
@@ -134,10 +332,18 @@ impl<M: Send> Endpoint<M> {
     /// `interrupt` selects the interrupt-driven (DSM) or polled
     /// (message-passing baseline) cost path.
     ///
+    /// With fault injection enabled the message travels through the
+    /// reliable-delivery layer: it is sequence-numbered, carries a
+    /// piggybacked cumulative ack, and its arrival time includes any
+    /// retransmission timeouts and link delay the fault plan assigns.
+    ///
     /// # Panics
     ///
     /// Panics if `dst` is not a node of this cluster; sending to oneself is
-    /// allowed and costs nothing extra.
+    /// allowed, costs nothing extra, and bypasses fault injection. Panics
+    /// with a [`DeliveryExpired`] payload if the fault plan drops all
+    /// [`RetryPolicy::max_attempts`](crate::RetryPolicy::max_attempts)
+    /// transmission attempts.
     pub fn send(
         &self,
         dst: NodeId,
@@ -148,27 +354,161 @@ impl<M: Send> Endpoint<M> {
         interrupt: bool,
     ) -> VirtualTime {
         assert!(dst.index() < self.nodes, "destination {dst} outside cluster of {}", self.nodes);
+        if let Some(relia) = &self.relia {
+            if dst != self.id {
+                return self.send_reliable(
+                    relia,
+                    dst,
+                    port,
+                    payload,
+                    payload_bytes,
+                    sent_at,
+                    interrupt,
+                );
+            }
+        }
         let latency = if dst == self.id {
             VirtualTime::ZERO
         } else {
             self.cost_model.message_cost(payload_bytes, interrupt)
         };
         let arrives_at = sent_at + latency;
-        let envelope = Envelope { src: self.id, dst, sent_at, arrives_at, payload_bytes, payload };
+        let envelope = Envelope {
+            src: self.id,
+            dst,
+            sent_at,
+            arrives_at,
+            payload_bytes,
+            relia: None,
+            payload,
+        };
         if dst != self.id {
             self.stats.messages_sent(1);
             self.stats.bytes_sent(payload_bytes as u64);
         }
-        let mailbox = &self.mailboxes[dst.index()];
-        let tx = match port {
-            Port::Request => &mailbox.request_tx,
-            Port::Reply => &mailbox.reply_tx,
-        };
         // Receiver endpoints live as long as the cluster run; a send after
         // teardown only happens in tests, where the message is simply never
         // consumed.
-        tx.send(envelope);
+        self.mailbox_tx(dst, port).send(envelope);
         arrives_at
+    }
+
+    /// The faulty send path: resolves the message's whole fate — drops and
+    /// their retransmission timeouts, duplicates, delay, reorder marking —
+    /// at send time from the pure fault plan, then enqueues the surviving
+    /// copy (and any duplicate) with a sequence-numbered header.
+    #[allow(clippy::too_many_arguments)]
+    fn send_reliable(
+        &self,
+        relia: &ReliaState<M>,
+        dst: NodeId,
+        port: Port,
+        payload: M,
+        payload_bytes: usize,
+        sent_at: VirtualTime,
+        interrupt: bool,
+    ) -> VirtualTime {
+        let faults = &relia.config;
+        let wire_bytes = payload_bytes + RELIA_HEADER_BYTES;
+        let key = MsgKey {
+            src: self.id,
+            dst,
+            port,
+            sent_at_ns: sent_at.as_nanos(),
+            wire_bytes: wire_bytes as u64,
+        };
+        let max_attempts = faults.retry.max_attempts;
+        let drops = faults.plan.leading_drops(key, max_attempts);
+        if drops >= max_attempts {
+            // Every attempt was lost: the peer is unreachable on this link.
+            // Count the retransmissions actually made, then abort the send;
+            // the DSM harness converts this payload into a structured
+            // `PeerUnresponsive` error.
+            self.stats.net_retransmits(u64::from(max_attempts.saturating_sub(1)));
+            std::panic::panic_any(DeliveryExpired {
+                src: self.id,
+                dst,
+                port,
+                attempts: max_attempts,
+            });
+        }
+        // Each dropped attempt costs one (backed-off) virtual timeout before
+        // the retransmission departs.
+        let mut retry_delay = VirtualTime::ZERO;
+        let mut timeout = faults.retry.timeout;
+        for _ in 0..drops {
+            retry_delay += timeout;
+            timeout = timeout.scale(u64::from(faults.retry.backoff));
+        }
+        let jitter = faults.plan.extra_delay(key);
+        let laggard = faults.plan.lags(key);
+        let duplicate = faults.plan.duplicates(key);
+        let arrives_at =
+            sent_at + self.cost_model.message_cost(wire_bytes, interrupt) + retry_delay + jitter;
+        self.stats.messages_sent(1);
+        self.stats.bytes_sent(wire_bytes as u64);
+        if drops > 0 {
+            self.stats.net_retransmits(u64::from(drops));
+        }
+        if jitter > VirtualTime::ZERO {
+            self.stats.net_delays(1);
+        }
+        if laggard {
+            self.stats.net_reorders(1);
+        }
+        let added = retry_delay + jitter;
+        if added > VirtualTime::ZERO {
+            self.stats.net_added_delay_ns(added.as_nanos());
+        }
+        let ack = relia.delivered.lock().get(&dst).copied().unwrap_or(0);
+        // Assign the sequence number and enqueue under one lock so the
+        // channel order of a lane tracks its sequence order (the resequencer
+        // absorbs any inversion regardless).
+        let mut tx_state = relia.tx.lock();
+        let seq_slot = tx_state.next_seq.entry((dst, port)).or_insert(0);
+        let seq = *seq_slot;
+        *seq_slot += 1;
+        *tx_state.sent_to.entry(dst).or_insert(0) += 1;
+        let envelope = Envelope {
+            src: self.id,
+            dst,
+            sent_at,
+            arrives_at,
+            payload_bytes: wire_bytes,
+            relia: Some(ReliaHeader { seq, ack, laggard }),
+            payload,
+        };
+        let chan = self.mailbox_tx(dst, port);
+        if duplicate {
+            self.stats.net_dups(1);
+            chan.send((relia.clone_env)(&envelope));
+        }
+        chan.send(envelope);
+        arrives_at
+    }
+
+    /// Sends a control message outside the delivery layer: no fault
+    /// injection, no sequence number, no statistics, zero modelled latency.
+    ///
+    /// The DSM harness uses this for its shutdown/poison messages, which
+    /// must stay deliverable under any fault schedule — a droppable shutdown
+    /// could wedge the very abort path that reports the fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not a node of this cluster.
+    pub fn send_control(&self, dst: NodeId, port: Port, payload: M) {
+        assert!(dst.index() < self.nodes, "destination {dst} outside cluster of {}", self.nodes);
+        let envelope = Envelope {
+            src: self.id,
+            dst,
+            sent_at: VirtualTime::ZERO,
+            arrives_at: VirtualTime::ZERO,
+            payload_bytes: 0,
+            relia: None,
+            payload,
+        };
+        self.mailbox_tx(dst, port).send(envelope);
     }
 
     /// Sends the same payload to every other node (the payload must be
@@ -212,20 +552,154 @@ impl<M: Send> Endpoint<M> {
     /// Returns [`NetError::Disconnected`] if every peer endpoint has been
     /// dropped.
     pub fn recv(&self, port: Port) -> Result<Envelope<M>, NetError> {
-        let rx = match port {
-            Port::Request => &self.request_rx,
-            Port::Reply => &self.reply_rx,
-        };
-        rx.recv().map_err(|_| NetError::Disconnected)
+        match &self.relia {
+            None => self.rx_chan(port).recv().map_err(|_| NetError::Disconnected),
+            Some(_) => self.recv_reliable(port, None),
+        }
+    }
+
+    /// Blocks until a message arrives on `port` or `timeout` (real time)
+    /// elapses — the liveness backstop behind the DSM watchdog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] if the deadline passes without a
+    /// deliverable message, [`NetError::Disconnected`] if every peer
+    /// endpoint has been dropped.
+    pub fn recv_timeout(&self, port: Port, timeout: Duration) -> Result<Envelope<M>, NetError> {
+        match &self.relia {
+            None => self.rx_chan(port).recv_timeout(timeout).map_err(|e| match e {
+                RecvTimeoutError::Timeout => NetError::Timeout,
+                RecvTimeoutError::Disconnected => NetError::Disconnected,
+            }),
+            Some(_) => self.recv_reliable(port, Some(timeout)),
+        }
     }
 
     /// Returns a pending message on `port` if one is queued.
     pub fn try_recv(&self, port: Port) -> Option<Envelope<M>> {
-        let rx = match port {
-            Port::Request => &self.request_rx,
-            Port::Reply => &self.reply_rx,
+        let Some(relia) = &self.relia else {
+            return self.rx_chan(port).try_recv().ok();
         };
-        rx.try_recv().ok()
+        let mut st = relia.rx_state(port).lock();
+        loop {
+            if let Some(env) = st.ready.pop_front() {
+                return Some(env);
+            }
+            match self.rx_chan(port).try_recv() {
+                Ok(env) => self.admit(relia, &mut st, env),
+                Err(_) => {
+                    // Channel drained: laggards may now be delivered.
+                    let env = st.deferred.pop_front()?;
+                    self.admit(relia, &mut st, env);
+                }
+            }
+        }
+    }
+
+    /// The faulty receive path: reorder deferral, then dedup, then
+    /// per-link resequencing. Blocks only when the channel is empty *and*
+    /// no laggard is held back, so deferral can never deadlock a receiver.
+    fn recv_reliable(
+        &self,
+        port: Port,
+        timeout: Option<Duration>,
+    ) -> Result<Envelope<M>, NetError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let relia = self.relia.as_ref().expect("reliable recv requires fault state");
+        let chan = self.rx_chan(port);
+        let state_mutex = relia.rx_state(port);
+        let mut st = state_mutex.lock();
+        loop {
+            if let Some(env) = st.ready.pop_front() {
+                return Ok(env);
+            }
+            match chan.try_recv() {
+                Ok(env) => {
+                    self.admit(relia, &mut st, env);
+                    continue;
+                }
+                Err(e) => {
+                    // Channel drained: flush one deferred laggard, if any,
+                    // before considering blocking.
+                    if let Some(env) = st.deferred.pop_front() {
+                        self.admit(relia, &mut st, env);
+                        continue;
+                    }
+                    if matches!(e, TryRecvError::Disconnected) {
+                        return Err(NetError::Disconnected);
+                    }
+                }
+            }
+            // Nothing deliverable and nothing held back: block for the next
+            // arrival. The port state lock is released first so concurrent
+            // `try_recv` callers stay non-blocking.
+            drop(st);
+            let got = match deadline {
+                None => chan.recv().map_err(|_| NetError::Disconnected),
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(NetError::Timeout);
+                    }
+                    chan.recv_timeout(remaining).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => NetError::Timeout,
+                        RecvTimeoutError::Disconnected => NetError::Disconnected,
+                    })
+                }
+            };
+            st = state_mutex.lock();
+            match got {
+                Ok(env) => self.admit(relia, &mut st, env),
+                Err(err) => {
+                    // Another consumer may have readied or deferred work
+                    // while we were blocked; only fail once truly dry.
+                    if st.ready.is_empty() && st.deferred.is_empty() {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one envelope through the receive stages, updating ack
+    /// bookkeeping and promoting any newly in-order messages to `ready`.
+    fn admit(&self, relia: &ReliaState<M>, st: &mut RxPort<M>, mut env: Envelope<M>) {
+        let Some(header) = env.relia else {
+            // Self-sends and control messages bypass the delivery layer.
+            st.ready.push_back(env);
+            return;
+        };
+        // Observe the piggybacked cumulative ack: the peer has delivered
+        // `header.ack` of our messages, so the modelled retransmission
+        // buffer for that link shrinks accordingly.
+        {
+            let mut tx_state = relia.tx.lock();
+            let slot = tx_state.acked_by.entry(env.src).or_insert(0);
+            *slot = (*slot).max(header.ack);
+        }
+        if header.laggard {
+            // Reorder stage: hold the message until the channel drains, so
+            // it is observed *behind* traffic sent after it. The flag is
+            // cleared so the second pass admits it.
+            env.relia = Some(ReliaHeader { laggard: false, ..header });
+            st.deferred.push_back(env);
+            return;
+        }
+        let lane = st.lanes.entry(env.src).or_default();
+        if header.seq < lane.next_expected || lane.buffer.contains_key(&header.seq) {
+            // Dedup window: this sequence number was already delivered (or
+            // is already parked); drop the copy.
+            self.stats.net_dup_drops(1);
+            return;
+        }
+        lane.buffer.insert(header.seq, env);
+        // Resequencing: promote the in-order prefix.
+        while let Some(ready) = lane.buffer.remove(&lane.next_expected) {
+            lane.next_expected += 1;
+            *relia.delivered.lock().entry(ready.src).or_insert(0) += 1;
+            st.ready.push_back(ready);
+        }
     }
 }
 
@@ -241,8 +715,8 @@ mod tests {
 
     fn two_nodes() -> (Endpoint<u32>, Endpoint<u32>) {
         let mut v = Cluster::new(2, CostModel::sp2()).into_endpoints();
-        let b = v.pop().unwrap();
-        let a = v.pop().unwrap();
+        let b = v.remove(1);
+        let a = v.remove(0);
         (a, b)
     }
 
@@ -322,8 +796,8 @@ mod tests {
     #[test]
     fn works_across_threads() {
         let mut v = Cluster::<u64>::new(2, CostModel::free()).into_endpoints();
-        let b = v.pop().unwrap();
-        let a = v.pop().unwrap();
+        let b = v.remove(1);
+        let a = v.remove(0);
         std::thread::scope(|s| {
             s.spawn(move || {
                 for i in 0..100u64 {
@@ -336,5 +810,253 @@ mod tests {
             }
             assert_eq!(sum, 4950);
         });
+    }
+
+    #[test]
+    fn recv_timeout_returns_messages_and_times_out() {
+        let (a, b) = two_nodes();
+        a.send(b.id(), Port::Reply, 5, 8, VirtualTime::ZERO, true);
+        let env = b.recv_timeout(Port::Reply, Duration::from_secs(10)).unwrap();
+        assert_eq!(env.payload, 5);
+        assert_eq!(b.recv_timeout(Port::Reply, Duration::from_millis(10)), Err(NetError::Timeout));
+    }
+
+    // ---- fault-injection and reliable-delivery tests --------------------
+
+    use crate::fault::{FaultPlan, LinkRates, NetFaults, RetryPolicy};
+
+    fn faulty_pair(faults: NetFaults) -> (Endpoint<u32>, Endpoint<u32>) {
+        let mut v = Cluster::new_with_faults(2, CostModel::sp2(), Some(faults)).into_endpoints();
+        let b = v.remove(1);
+        let a = v.remove(0);
+        (a, b)
+    }
+
+    fn flood(
+        rates: LinkRates,
+        seed: u64,
+        n: u32,
+    ) -> (Vec<u32>, VirtualTime, sp2model::StatsSnapshot) {
+        let faults =
+            NetFaults { plan: FaultPlan::uniform(seed, rates), retry: RetryPolicy::default() };
+        let (a, b) = faulty_pair(faults);
+        let mut t = VirtualTime::ZERO;
+        let mut last = VirtualTime::ZERO;
+        for i in 0..n {
+            last = last.max(a.send(b.id(), Port::Reply, i, 64, t, true));
+            t += VirtualTime::from_micros(10);
+        }
+        let mut got = Vec::new();
+        for _ in 0..n {
+            got.push(b.recv(Port::Reply).unwrap().payload);
+        }
+        assert!(b.try_recv(Port::Reply).is_none(), "no residual deliverable messages");
+        (got, last, a.stats().snapshot())
+    }
+
+    #[test]
+    fn chaos_traffic_is_delivered_exactly_once_in_order() {
+        let rates = LinkRates {
+            drop_permille: 100,
+            dup_permille: 100,
+            delay_permille: 150,
+            reorder_permille: 150,
+        };
+        let (got, _, snap) = flood(rates, 42, 500);
+        assert_eq!(got, (0..500).collect::<Vec<u32>>(), "delivery must stay FIFO per lane");
+        assert!(snap.net_retransmits > 0, "expected some drops at 10%/attempt over 500 msgs");
+        assert!(snap.net_dups > 0, "expected some duplicates");
+        assert!(snap.net_reorders > 0, "expected some laggards");
+        assert!(snap.net_added_delay_ns > 0, "drops and delays must add modelled latency");
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible_per_seed() {
+        let rates = LinkRates {
+            drop_permille: 80,
+            dup_permille: 80,
+            delay_permille: 120,
+            reorder_permille: 120,
+        };
+        let (got1, last1, snap1) = flood(rates, 7, 300);
+        let (got2, last2, snap2) = flood(rates, 7, 300);
+        assert_eq!(got1, got2);
+        assert_eq!(last1, last2, "same seed must give identical arrival times");
+        assert_eq!(snap1, snap2, "same seed must give identical fault counters");
+        let (_, last3, snap3) = flood(rates, 8, 300);
+        assert!(last3 != last1 || snap3 != snap1, "a different seed should perturb the schedule");
+    }
+
+    #[test]
+    fn duplicates_are_counted_and_dropped() {
+        let rates = LinkRates {
+            drop_permille: 0,
+            dup_permille: 1000,
+            delay_permille: 0,
+            reorder_permille: 0,
+        };
+        let (got, _, snap) = flood(rates, 3, 50);
+        assert_eq!(got, (0..50).collect::<Vec<u32>>());
+        assert_eq!(snap.net_dups, 50, "every message must be duplicated at 100%");
+    }
+
+    #[test]
+    fn receiver_counts_dup_drops() {
+        let rates = LinkRates {
+            drop_permille: 0,
+            dup_permille: 1000,
+            delay_permille: 0,
+            reorder_permille: 0,
+        };
+        let faults =
+            NetFaults { plan: FaultPlan::uniform(5, rates), retry: RetryPolicy::default() };
+        let (a, b) = faulty_pair(faults);
+        for i in 0..20 {
+            a.send(b.id(), Port::Reply, i, 8, VirtualTime::from_micros(u64::from(i)), true);
+        }
+        for _ in 0..20 {
+            b.recv(Port::Reply).unwrap();
+        }
+        // Drain the duplicate copies still parked in the channel.
+        assert!(b.try_recv(Port::Reply).is_none());
+        assert_eq!(b.stats().snapshot().net_dup_drops, 20);
+    }
+
+    #[test]
+    fn laggards_are_delivered_behind_later_traffic_then_resequenced() {
+        // Mark exactly the first message as a laggard via a 100%-reorder
+        // link, send it alone, then check that a later burst is admitted
+        // around it while FIFO delivery order is still restored.
+        let rates = LinkRates {
+            drop_permille: 0,
+            dup_permille: 0,
+            delay_permille: 0,
+            reorder_permille: 1000,
+        };
+        let (got, _, snap) = flood(rates, 9, 100);
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+        assert_eq!(snap.net_reorders, 100);
+    }
+
+    #[test]
+    fn drops_add_latency_but_lose_nothing() {
+        let rates = LinkRates {
+            drop_permille: 300,
+            dup_permille: 0,
+            delay_permille: 0,
+            reorder_permille: 0,
+        };
+        let faults =
+            NetFaults { plan: FaultPlan::uniform(21, rates), retry: RetryPolicy::default() };
+        let (a, b) = faulty_pair(faults);
+        let clean = a.cost_model().message_cost(64 + RELIA_HEADER_BYTES, true);
+        let mut delayed = 0u64;
+        for i in 0..200u32 {
+            let sent_at = VirtualTime::from_micros(u64::from(i) * 7);
+            let arrival = a.send(b.id(), Port::Reply, i, 64, sent_at, true);
+            assert!(arrival >= sent_at + clean);
+            if arrival > sent_at + clean {
+                delayed += 1;
+            }
+        }
+        for i in 0..200 {
+            assert_eq!(b.recv(Port::Reply).unwrap().payload, i);
+        }
+        assert!(delayed > 0, "30% drop rate must delay some of 200 messages");
+        assert!(
+            a.stats().snapshot().net_retransmits >= delayed,
+            "every delayed message implies at least one retransmission"
+        );
+    }
+
+    #[test]
+    fn a_dead_link_expires_with_a_structured_payload() {
+        let plan = FaultPlan::uniform(1, LinkRates::CLEAN).with_link(
+            NodeId(0),
+            NodeId(1),
+            LinkRates::DEAD,
+        );
+        let retry = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        let (a, b) = faulty_pair(NetFaults { plan, retry });
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.send(b.id(), Port::Reply, 1, 8, VirtualTime::ZERO, true);
+        }))
+        .expect_err("a dead link must expire the send");
+        let expired =
+            caught.downcast_ref::<DeliveryExpired>().expect("payload must be DeliveryExpired");
+        assert_eq!(expired.src, NodeId(0));
+        assert_eq!(expired.dst, NodeId(1));
+        assert_eq!(expired.attempts, 3);
+        // The reverse link still works.
+        b.send(a.id(), Port::Reply, 2, 8, VirtualTime::ZERO, true);
+        assert_eq!(a.recv(Port::Reply).unwrap().payload, 2);
+    }
+
+    #[test]
+    fn control_messages_bypass_a_dead_link() {
+        let plan = FaultPlan::uniform(1, LinkRates::CLEAN).with_link(
+            NodeId(0),
+            NodeId(1),
+            LinkRates::DEAD,
+        );
+        let (a, b) = faulty_pair(NetFaults { plan, retry: RetryPolicy::default() });
+        a.send_control(b.id(), Port::Reply, 99);
+        assert_eq!(b.recv(Port::Reply).unwrap().payload, 99);
+        assert_eq!(a.stats().snapshot().messages_sent, 0, "control traffic is uncounted");
+    }
+
+    #[test]
+    fn cumulative_acks_advance_on_reply_traffic() {
+        let rates = LinkRates::CLEAN;
+        let faults =
+            NetFaults { plan: FaultPlan::uniform(2, rates), retry: RetryPolicy::default() };
+        let (a, b) = faulty_pair(faults);
+        for i in 0..10 {
+            a.send(b.id(), Port::Reply, i, 8, VirtualTime::from_micros(u64::from(i)), true);
+        }
+        assert_eq!(a.unacked(b.id()), 10, "nothing acked before the peer drains and replies");
+        for _ in 0..10 {
+            b.recv(Port::Reply).unwrap();
+        }
+        // B's next message to A piggybacks ack=10.
+        b.send(a.id(), Port::Reply, 0, 8, VirtualTime::from_micros(100), true);
+        a.recv(Port::Reply).unwrap();
+        assert_eq!(a.unacked(b.id()), 0, "reply traffic must carry the cumulative ack");
+        assert_eq!(b.unacked(a.id()), 1, "B's own reply is not yet acked");
+    }
+
+    #[test]
+    fn faults_charge_header_bytes_on_the_wire() {
+        let faults = NetFaults {
+            plan: FaultPlan::uniform(4, LinkRates::CLEAN),
+            retry: RetryPolicy::default(),
+        };
+        let (a, b) = faulty_pair(faults);
+        a.send(b.id(), Port::Reply, 1, 100, VirtualTime::ZERO, true);
+        assert_eq!(a.stats().snapshot().bytes_sent, (100 + RELIA_HEADER_BYTES) as u64);
+    }
+
+    #[test]
+    fn faults_off_keeps_the_wire_format_bare() {
+        let (a, b) = two_nodes();
+        a.send(b.id(), Port::Reply, 1, 64, VirtualTime::ZERO, true);
+        let env = b.recv(Port::Reply).unwrap();
+        assert!(env.relia.is_none(), "no header may be attached when faults are off");
+        assert_eq!(env.payload_bytes, 64, "no header bytes may be charged when faults are off");
+        assert_eq!(a.unacked(b.id()), 0);
+    }
+
+    #[test]
+    fn new_with_faults_none_matches_new_exactly() {
+        let (a, b) = two_nodes();
+        let mut v = Cluster::<u32>::new_with_faults(2, CostModel::sp2(), None).into_endpoints();
+        let b2 = v.remove(1);
+        let a2 = v.remove(0);
+        let t = VirtualTime::from_micros(3);
+        let arr1 = a.send(b.id(), Port::Reply, 7, 256, t, true);
+        let arr2 = a2.send(b2.id(), Port::Reply, 7, 256, t, true);
+        assert_eq!(arr1, arr2);
+        assert_eq!(b.recv(Port::Reply).unwrap(), b2.recv(Port::Reply).unwrap());
+        assert_eq!(a.stats().snapshot(), a2.stats().snapshot());
     }
 }

@@ -13,6 +13,8 @@ pub enum NetError {
     NoSuchNode(NodeId),
     /// A receive was attempted after every peer endpoint was dropped.
     Disconnected,
+    /// A deadline-bounded receive saw no message within its real-time budget.
+    Timeout,
 }
 
 impl fmt::Display for NetError {
@@ -20,6 +22,7 @@ impl fmt::Display for NetError {
         match self {
             NetError::NoSuchNode(node) => write!(f, "no such node: {node}"),
             NetError::Disconnected => write!(f, "all peer endpoints have been dropped"),
+            NetError::Timeout => write!(f, "no message arrived within the receive deadline"),
         }
     }
 }

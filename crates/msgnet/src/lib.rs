@@ -17,13 +17,22 @@
 //!   hand-coded (PVMe) and compiler-generated (XHPF) baseline versions of the
 //!   applications.
 //!
+//! A third, optional layer sits between the two: a seeded deterministic
+//! fault injector ([`FaultPlan`]) and the reliable-delivery sublayer
+//! (sequence numbers, dedup windows, piggybacked cumulative acks, modelled
+//! retransmission timeouts — see [`NetFaults`]) that masks it. With faults
+//! off — the default — the layer is structurally absent and the wire format
+//! and model times are untouched.
+//!
 //! ```
-//! use msgnet::{Cluster, Port};
+//! use msgnet::{Cluster, NodeId, Port};
 //! use sp2model::{CostModel, VirtualTime};
 //!
 //! let mut endpoints = Cluster::new(2, CostModel::sp2()).into_endpoints();
-//! let b = endpoints.pop().unwrap();
-//! let a = endpoints.pop().unwrap();
+//! // `into_endpoints` yields endpoints in node-id order: index directly.
+//! let b = endpoints.remove(1);
+//! let a = endpoints.remove(0);
+//! assert_eq!((a.id(), b.id()), (NodeId(0), NodeId(1)));
 //! let arrival = a.send(b.id(), Port::Reply, "hello", 5, VirtualTime::ZERO, true);
 //! let env = b.recv(Port::Reply).unwrap();
 //! assert_eq!(env.payload, "hello");
@@ -36,10 +45,12 @@
 mod cluster;
 mod envelope;
 mod error;
+mod fault;
 pub mod mp;
 mod node;
 
 pub use cluster::{Cluster, Endpoint, Port};
-pub use envelope::Envelope;
+pub use envelope::{Envelope, ReliaHeader, RELIA_HEADER_BYTES};
 pub use error::NetError;
+pub use fault::{DeliveryExpired, FaultPlan, LinkRates, NetFaults, RetryPolicy};
 pub use node::NodeId;

@@ -147,6 +147,28 @@ define_stats! {
     /// history into a consolidated base (a potential race in the trimmed
     /// window, counted instead of silently ignored).
     races_window_trimmed,
+    /// Modelled retransmissions: transmission attempts the fault plan
+    /// dropped, each masked by a timeout-and-resend of the reliable-delivery
+    /// layer (sender side, deterministic per seed).
+    net_retransmits,
+    /// Duplicate copies the fault plan injected in flight (sender side,
+    /// deterministic per seed).
+    net_dups,
+    /// Duplicate or stale-sequence envelopes discarded by the receiver's
+    /// dedup window. Counted at drain time, so the exact value can trail
+    /// `net_dups` at the end of a run (a final duplicate may never be
+    /// drained); use `net_dups` for deterministic reporting.
+    net_dup_drops,
+    /// Messages the fault plan marked as laggards, delivered behind later
+    /// same-link traffic and restored to order by the receiver's
+    /// resequencing window (sender side, deterministic per seed).
+    net_reorders,
+    /// Messages given extra link delay by the fault plan (sender side,
+    /// deterministic per seed).
+    net_delays,
+    /// Virtual nanoseconds of latency added by injected faults: retransmit
+    /// timeouts plus link-delay jitter (sender side, deterministic per seed).
+    net_added_delay_ns,
 }
 
 impl StatsSnapshot {

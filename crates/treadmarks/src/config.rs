@@ -1,5 +1,8 @@
 //! Runtime configuration.
 
+use std::time::Duration;
+
+use msgnet::NetFaults;
 use racecheck::RaceDetect;
 use sp2model::CostModel;
 
@@ -121,9 +124,24 @@ pub struct DsmConfig {
     /// of remote modifications checks the incoming word-write sets against
     /// concurrent local history and records [`racecheck::RaceReport`]s.
     pub race_detect: RaceDetect,
+    /// Deterministic fault injection on the simulated interconnect
+    /// (default: off). `None` keeps the wire format, virtual times and
+    /// statistics byte-identical to a build without the fault layer; `Some`
+    /// enables the seeded drop/duplicate/delay/reorder schedule and the
+    /// reliable-delivery sublayer that masks it.
+    pub net_faults: Option<NetFaults>,
+    /// Real-time watchdog on every blocking protocol receive (default:
+    /// 30 s). If a processor waits longer than this for a message, the run
+    /// panics with a dump of every processor's wait state instead of
+    /// hanging — a protocol deadlock becomes a failing test. Generous by
+    /// default so slow CI machines never trip it spuriously.
+    pub watchdog: Duration,
 }
 
 impl DsmConfig {
+    /// The default watchdog deadline for blocking protocol receives.
+    pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
     /// A configuration for `nprocs` processors with the SP/2 cost model,
     /// the default heap size and the adaptive-arity tree barrier.
     ///
@@ -138,6 +156,8 @@ impl DsmConfig {
             heap_capacity: pagedmem::SharedAlloc::DEFAULT_CAPACITY,
             barrier: BarrierTopology::default(),
             race_detect: RaceDetect::Off,
+            net_faults: None,
+            watchdog: Self::DEFAULT_WATCHDOG,
         }
     }
 
@@ -179,6 +199,25 @@ impl DsmConfig {
     /// Replaces the race-detection mode.
     pub fn with_race_detect(mut self, race_detect: RaceDetect) -> DsmConfig {
         self.race_detect = race_detect;
+        self
+    }
+
+    /// Enables (or, with `None`, disables) deterministic fault injection on
+    /// the interconnect.
+    pub fn with_net_faults(mut self, net_faults: Option<NetFaults>) -> DsmConfig {
+        self.net_faults = net_faults;
+        self
+    }
+
+    /// Replaces the real-time receive watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watchdog` is zero — every blocking receive would time out
+    /// immediately.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> DsmConfig {
+        assert!(!watchdog.is_zero(), "the watchdog deadline must be positive");
+        self.watchdog = watchdog;
         self
     }
 }
@@ -250,6 +289,25 @@ mod tests {
                 "arity {chosen} must not be modelled slower than 2 at {nprocs} procs"
             );
         }
+    }
+
+    #[test]
+    fn net_faults_default_off_and_builder_overrides() {
+        use msgnet::NetFaults;
+        let c = DsmConfig::new(2);
+        assert!(c.net_faults.is_none(), "faults must be off unless asked for");
+        assert_eq!(c.watchdog, DsmConfig::DEFAULT_WATCHDOG);
+        let c =
+            c.with_net_faults(Some(NetFaults::chaos(7))).with_watchdog(Duration::from_millis(500));
+        assert_eq!(c.net_faults.as_ref().map(|f| f.plan.seed()), Some(7));
+        assert_eq!(c.watchdog, Duration::from_millis(500));
+        assert!(c.with_net_faults(None).net_faults.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn zero_watchdog_is_rejected() {
+        let _ = DsmConfig::new(2).with_watchdog(Duration::ZERO);
     }
 
     #[test]

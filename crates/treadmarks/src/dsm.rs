@@ -6,9 +6,10 @@
 //! services remote lock and diff requests — joins the application, shuts
 //! the servers down and collects per-node clocks and statistics.
 
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 
-use msgnet::{Cluster, NodeId, Port};
+use msgnet::{Cluster, DeliveryExpired, NodeId, Port};
 use racecheck::{RaceDetect, RaceLog, RaceReport};
 use sp2model::{ClusterStats, VirtualTime};
 
@@ -17,10 +18,46 @@ use crate::message::TmkMessage;
 use crate::process::{PeerAbort, Process};
 use crate::server::server_loop;
 use crate::state::NodeShared;
+use crate::types::ProcId;
+use crate::watch::WaitBoard;
 
 /// The DSM run harness. See [`Dsm::run`].
 #[derive(Debug, Clone, Copy)]
 pub struct Dsm;
+
+/// A structured failure of a DSM run, surfaced by [`Dsm::try_run`] instead
+/// of a panic. Application bugs (a panicking closure) still propagate as
+/// panics; this type covers failures of the simulated *system* itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DsmError {
+    /// A message to `node` exhausted the retransmission policy's maximum
+    /// attempts: under the configured fault schedule the link is
+    /// effectively dead and the run cannot make progress. Only possible
+    /// with [`DsmConfig::net_faults`] enabled.
+    PeerUnresponsive {
+        /// The processor that could not be reached.
+        node: ProcId,
+        /// The port the undeliverable traffic was addressed to.
+        port: Port,
+        /// What the sending side was doing when delivery expired.
+        waiting_on: String,
+    },
+}
+
+impl fmt::Display for DsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmError::PeerUnresponsive { node, port, waiting_on } => write!(
+                f,
+                "processor P{node} is unresponsive on the {port:?} port \
+                 (retransmission attempts exhausted while {waiting_on})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DsmError {}
 
 /// The outcome of a DSM run.
 #[derive(Debug, Clone)]
@@ -58,8 +95,24 @@ impl Dsm {
     /// # Panics
     ///
     /// Panics if any processor's closure panics (after shutting down the
-    /// simulated cluster).
+    /// simulated cluster), or if the run fails with a [`DsmError`] — use
+    /// [`Dsm::try_run`] to handle system failures without unwinding.
     pub fn run<R, F>(config: DsmConfig, f: F) -> DsmRun<R>
+    where
+        R: Send,
+        F: Fn(&mut Process) -> R + Sync,
+    {
+        match Self::try_run(config, f) {
+            Ok(run) => run,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Like [`Dsm::run`], but surfaces failures of the simulated *system*
+    /// (today: an unresponsive peer under an injected fault schedule) as a
+    /// structured [`DsmError`] instead of a panic. Application panics still
+    /// propagate as panics.
+    pub fn try_run<R, F>(config: DsmConfig, f: F) -> Result<DsmRun<R>, DsmError>
     where
         R: Send,
         F: Fn(&mut Process) -> R + Sync,
@@ -70,11 +123,16 @@ impl Dsm {
             RaceDetect::Collect => Some(Arc::new(RaceLog::new(false))),
             RaceDetect::FailFast => Some(Arc::new(RaceLog::new(true))),
         };
-        let endpoints: Vec<Arc<_>> = Cluster::<TmkMessage>::new(nprocs, config.cost_model.clone())
-            .into_endpoints()
-            .into_iter()
-            .map(Arc::new)
-            .collect();
+        let board = Arc::new(WaitBoard::new(nprocs));
+        let endpoints: Vec<Arc<_>> = Cluster::<TmkMessage>::new_with_faults(
+            nprocs,
+            config.cost_model.clone(),
+            config.net_faults.clone(),
+        )
+        .into_endpoints()
+        .into_iter()
+        .map(Arc::new)
+        .collect();
         let shareds: Vec<Arc<NodeShared>> = endpoints
             .iter()
             .enumerate()
@@ -85,9 +143,27 @@ impl Dsm {
                     config.cost_model.clone(),
                     ep.stats().clone(),
                     race_log.clone(),
+                    Arc::clone(&board),
+                    config.watchdog,
                 ))
             })
             .collect();
+
+        // The first system failure of the run; later ones (the poisoned
+        // peers' cascading aborts) are consequences, not causes.
+        let net_error: Mutex<Option<DsmError>> = Mutex::new(None);
+        let report_expired = |expired: &DeliveryExpired, waiting_on: String| {
+            let mut slot = net_error.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(DsmError::PeerUnresponsive {
+                node: expired.dst.index(),
+                port: expired.port,
+                waiting_on,
+            });
+        };
+        // Protocol-server panics that are not delivery failures (a bug in a
+        // handler); re-raised after the scope so they are never silently
+        // swallowed.
+        let server_panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
 
         type Outcome<R> = Result<(R, VirtualTime), Box<dyn std::any::Any + Send>>;
         let mut outcomes: Vec<Option<Outcome<R>>> = (0..nprocs).map(|_| None).collect();
@@ -95,7 +171,31 @@ impl Dsm {
             for (ep, sh) in endpoints.iter().zip(&shareds) {
                 let ep = Arc::clone(ep);
                 let sh = Arc::clone(sh);
-                scope.spawn(move || server_loop(ep, sh));
+                let report = &report_expired;
+                let server_panics = &server_panics;
+                scope.spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        server_loop(Arc::clone(&ep), Arc::clone(&sh));
+                    }));
+                    if let Err(panic) = result {
+                        // A dead server means some reply will never be sent.
+                        // Record the cause, then poison every reply port so
+                        // blocked compute threads unwind instead of tripping
+                        // the watchdog.
+                        match panic.downcast_ref::<DeliveryExpired>() {
+                            Some(expired) => report(
+                                expired,
+                                format!("answering a protocol request of {}", expired.dst),
+                            ),
+                            None => {
+                                server_panics.lock().unwrap_or_else(|e| e.into_inner()).push(panic)
+                            }
+                        }
+                        for peer in (0..ep.nodes()).map(NodeId) {
+                            ep.send_control(peer, Port::Reply, TmkMessage::Shutdown);
+                        }
+                    }
+                });
             }
             let compute_handles: Vec<_> = endpoints
                 .iter()
@@ -105,26 +205,34 @@ impl Dsm {
                     let sh = Arc::clone(sh);
                     let f = &f;
                     let config = &config;
+                    let report = &report_expired;
                     scope.spawn(move || {
-                        let mut process = Process::new(Arc::clone(&ep), sh, config);
+                        let mut process = Process::new(Arc::clone(&ep), Arc::clone(&sh), config);
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             f(&mut process)
                         }));
                         match result {
                             Ok(result) => Ok((result, process.clock().now())),
                             Err(panic) => {
+                                if let Some(expired) = panic.downcast_ref::<DeliveryExpired>() {
+                                    // Delivery expires at send time, before
+                                    // the op parks on the wait board; name
+                                    // the undeliverable traffic instead.
+                                    let waiting_on = sh
+                                        .board
+                                        .label(ep.id().index(), false)
+                                        .unwrap_or_else(|| {
+                                            format!("sending protocol traffic to {}", expired.dst)
+                                        });
+                                    report(expired, waiting_on);
+                                }
                                 // Poison every reply port so peers blocked in
                                 // a collective unwind instead of waiting for a
-                                // message this processor will never send.
+                                // message this processor will never send. The
+                                // poison bypasses the fault plan: a droppable
+                                // shutdown could wedge the abort path itself.
                                 for peer in (0..ep.nodes()).map(NodeId) {
-                                    ep.send(
-                                        peer,
-                                        Port::Reply,
-                                        TmkMessage::Shutdown,
-                                        0,
-                                        VirtualTime::ZERO,
-                                        true,
-                                    );
+                                    ep.send_control(peer, Port::Reply, TmkMessage::Shutdown);
                                 }
                                 Err(panic)
                             }
@@ -139,11 +247,25 @@ impl Dsm {
                 });
             }
             // Stop every protocol server (whether or not the application
-            // panicked), so the scope can join them.
+            // panicked), so the scope can join them. Control sends carry no
+            // cost and no statistics, keeping teardown invisible to the
+            // model.
             for ep in &endpoints {
-                ep.send(ep.id(), Port::Request, TmkMessage::Shutdown, 0, VirtualTime::ZERO, true);
+                ep.send_control(ep.id(), Port::Request, TmkMessage::Shutdown);
             }
         });
+
+        // Failures of the simulated system come back as structured errors;
+        // the accompanying panics (the expired send's own unwind and the
+        // poisoned peers' aborts) are its mechanism, not separate failures.
+        if let Some(err) = net_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(err);
+        }
+        if let Some(panic) =
+            server_panics.into_inner().unwrap_or_else(|e| e.into_inner()).into_iter().next()
+        {
+            std::panic::resume_unwind(panic);
+        }
 
         // If anything panicked, resume the root cause — not the secondary
         // `PeerAbort` unwinds of processors that were poisoned out of a
@@ -177,7 +299,7 @@ impl Dsm {
         }
         let stats = endpoints.iter().map(|ep| ep.stats().snapshot()).collect();
         let races = race_log.map(|log| log.drain_sorted()).unwrap_or_default();
-        DsmRun { results, elapsed, stats, races }
+        Ok(DsmRun { results, elapsed, stats, races })
     }
 }
 
@@ -429,6 +551,83 @@ mod tests {
             }
             p.barrier();
         });
+    }
+
+    #[test]
+    fn a_dead_link_surfaces_as_a_structured_error() {
+        use msgnet::{FaultPlan, LinkRates, NetFaults, RetryPolicy};
+        // Every link drops every transmission attempt: the first cross-node
+        // protocol message exhausts its retry budget and the run must come
+        // back as a structured `PeerUnresponsive`, not a hang or a bare
+        // panic.
+        let faults = NetFaults {
+            plan: FaultPlan::uniform(42, LinkRates::DEAD),
+            retry: RetryPolicy::default(),
+        };
+        let config = free_config(2).with_net_faults(Some(faults));
+        let err = Dsm::try_run(config, |p| {
+            let a = p.alloc_array::<u64>(8);
+            if p.proc_id() == 0 {
+                p.set(&a, 0, 1);
+            }
+            p.barrier();
+            p.get(&a, 0)
+        })
+        .expect_err("a dead interconnect cannot complete a barrier");
+        // The only variant today; the destructure is irrefutable inside the
+        // defining crate despite `#[non_exhaustive]`.
+        let DsmError::PeerUnresponsive { node, waiting_on, .. } = err;
+        assert!(node < 2, "the unresponsive peer is a cluster node");
+        assert!(!waiting_on.is_empty(), "the error names the stuck operation");
+    }
+
+    #[test]
+    fn try_run_succeeds_without_faults() {
+        let run = Dsm::try_run(free_config(2), |p| {
+            let a = p.alloc_array::<u64>(4);
+            if p.proc_id() == 0 {
+                p.set(&a, 2, 9);
+            }
+            p.barrier();
+            p.get(&a, 2)
+        })
+        .expect("a fault-free run returns Ok");
+        assert_eq!(run.results, vec![9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn the_watchdog_converts_a_deadlock_into_a_failing_test() {
+        // Processor 0 takes the lock and parks at a barrier processor 1 can
+        // never reach (it waits for the lock processor 0 will never
+        // release): a genuine protocol-level deadlock. The watchdog must
+        // turn it into a panic carrying the cluster's wait state.
+        let config = free_config(2).with_watchdog(std::time::Duration::from_millis(300));
+        let _ = Dsm::run(config, |p| {
+            // Whoever wins the lock parks at a barrier the loser can never
+            // reach; the loser waits for a grant that will never come.
+            p.lock_acquire(7);
+            p.barrier();
+        });
+    }
+
+    #[test]
+    fn the_watchdog_dump_names_the_blocked_operations() {
+        let config = free_config(2).with_watchdog(std::time::Duration::from_millis(300));
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = Dsm::run(config, |p| {
+                p.lock_acquire(7);
+                p.barrier();
+            });
+        }))
+        .expect_err("the deadlock must fail the run");
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("watchdog panics carry a message");
+        assert!(message.contains("cluster wait state"), "dump missing: {message}");
+        assert!(message.contains("a lock grant"), "stuck lock wait missing: {message}");
     }
 
     #[test]

@@ -71,10 +71,12 @@ mod sharedarray;
 mod state;
 mod tlb;
 mod types;
+mod watch;
 
 pub use config::{BarrierTopology, DsmConfig};
-pub use dsm::{Dsm, DsmRun};
+pub use dsm::{Dsm, DsmError, DsmRun};
 pub use message::TmkMessage;
+pub use msgnet::{FaultPlan, LinkRates, NetFaults, Port, RetryPolicy};
 pub use notice::{NoticeLog, WriteNotice};
 pub use process::{FetchHandle, PendingSync, PhasePlan, Process, PushReceipt, SyncOp};
 pub use racecheck::{RaceAccess, RaceDetect, RaceReport, SyncKind};

@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
-use msgnet::{Endpoint, Envelope, NodeId, Port};
+use msgnet::{Endpoint, Envelope, NetError, NodeId, Port};
 use pagedmem::{AddrRange, EpochProbe, PageFrame, PageId, Protection, SharedAlloc, PAGE_SIZE};
 use sp2model::VirtualClock;
 
@@ -1084,13 +1084,32 @@ impl Process {
     /// Receives the next reply-port message satisfying `pred`, queueing any
     /// other message (out-of-band barrier arrivals, early pushes) for later
     /// in arrival order.
-    fn recv_reply(&mut self, pred: impl Fn(&TmkMessage) -> bool) -> Envelope<TmkMessage> {
+    ///
+    /// `what` names the awaited message on the run's wait board, and every
+    /// block is bounded by the configured watchdog: if the deadline passes
+    /// with nothing received, the processor panics with a dump of the whole
+    /// cluster's wait state — a protocol deadlock becomes a failing test
+    /// instead of a hang, under any fault schedule.
+    fn recv_reply(
+        &mut self,
+        what: &str,
+        pred: impl Fn(&TmkMessage) -> bool,
+    ) -> Envelope<TmkMessage> {
         if let Some(pos) = self.pending.iter().position(|e| pred(&e.payload)) {
             return self.pending.remove(pos).expect("position is in range");
         }
+        let me = self.proc_id();
+        self.shared.board.wait(me, false, what.to_string());
         loop {
-            let env =
-                self.endpoint.recv(Port::Reply).expect("the cluster outlives its compute threads");
+            let env = match self.endpoint.recv_timeout(Port::Reply, self.shared.watchdog) {
+                Ok(env) => env,
+                Err(NetError::Timeout) => panic!(
+                    "watchdog: P{me} waited more than {:?} for {what} — the protocol is wedged\n{}",
+                    self.shared.watchdog,
+                    self.shared.board.dump(),
+                ),
+                Err(err) => panic!("the cluster outlives its compute threads: {err}"),
+            };
             if matches!(env.payload, TmkMessage::Shutdown) {
                 // A peer panicked and the harness poisoned the reply ports;
                 // unwind with the marker so the harness reports the peer's
@@ -1098,6 +1117,7 @@ impl Process {
                 std::panic::panic_any(PeerAbort);
             }
             if pred(&env.payload) {
+                self.shared.board.done(me, false);
                 return env;
             }
             self.pending.push_back(env);
@@ -1145,6 +1165,7 @@ impl Process {
         for (_, req_id) in &handle.expected {
             let want = *req_id;
             let env = self.recv_reply(
+                "a diff response (fetch)",
                 |m| matches!(m, TmkMessage::DiffResponse { req_id, .. } if *req_id == want),
             );
             self.clock.observe(env.arrives_at);
@@ -1360,6 +1381,7 @@ impl Process {
         for (_, req_id) in &fetch_expected {
             let want = *req_id;
             let env = self.recv_reply(
+                "a diff response (sync completion)",
                 |m| matches!(m, TmkMessage::DiffResponse { req_id, .. } if *req_id == want),
             );
             self.clock.observe(env.arrives_at);
@@ -1375,7 +1397,7 @@ impl Process {
         // consumed and discarded here so they can never be mistaken for
         // (or park behind) this barrier's data.
         while !responders.is_empty() {
-            let env = self.recv_reply(|m| {
+            let env = self.recv_reply("a producer's barrier sync-diffs", |m| {
                 matches!(m, TmkMessage::SyncDiffs { from, seq: got, .. }
                     if *got <= seq && responders.contains(from))
             });
@@ -1396,7 +1418,7 @@ impl Process {
         // handle) are consumed and discarded.
         let mut acked: Vec<(ProcId, Vt, Vec<WriteNotice>)> = Vec::new();
         while !neighbor_responders.is_empty() {
-            let env = self.recv_reply(|m| {
+            let env = self.recv_reply("a neighbour-sync ack", |m| {
                 matches!(m, TmkMessage::NeighborAck { from, seq: got, .. }
                     if *got <= seq && neighbor_responders.contains(from))
             });
@@ -1602,6 +1624,7 @@ impl Process {
         let mut received: Vec<(ProcId, AddrRange, Vec<u8>)> = Vec::new();
         while !outstanding.is_empty() {
             let env = self.recv_reply(
+                "a peer's pushed data",
                 |m| matches!(m, TmkMessage::PushData { from, .. } if outstanding.contains(from)),
             );
             self.clock.observe(env.arrives_at);
@@ -1685,8 +1708,10 @@ impl Process {
         };
         let bytes = msg.wire_bytes();
         self.endpoint.send(NodeId(manager), Port::Request, msg, bytes, self.clock.now(), true);
-        let env =
-            self.recv_reply(|m| matches!(m, TmkMessage::LockGrant { lock: l, .. } if *l == lock));
+        let env = self.recv_reply(
+            "a lock grant",
+            |m| matches!(m, TmkMessage::LockGrant { lock: l, .. } if *l == lock),
+        );
         self.clock.observe(env.arrives_at);
         let TmkMessage::LockGrant { granter_vt, notices, piggyback, .. } = env.payload else {
             unreachable!()
@@ -1861,7 +1886,9 @@ impl Process {
         let mut child_notices = Vec::new();
         let mut applied_min: Option<Vt> = None;
         for _ in 0..children.len() {
-            let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierArrival { .. }));
+            let env = self.recv_reply("a child's barrier arrival", |m| {
+                matches!(m, TmkMessage::BarrierArrival { .. })
+            });
             self.clock.observe(env.arrives_at);
             let TmkMessage::BarrierArrival { proc, vt, applied_vt, notices, sync_requests: reqs } =
                 env.payload
@@ -1925,7 +1952,9 @@ impl Process {
                 self.clock.now(),
                 interrupt,
             );
-            let env = self.recv_reply(|m| matches!(m, TmkMessage::BarrierDeparture { .. }));
+            let env = self.recv_reply("the barrier departure", |m| {
+                matches!(m, TmkMessage::BarrierDeparture { .. })
+            });
             self.clock.observe(env.arrives_at);
             let TmkMessage::BarrierDeparture { global_vt, gc_horizon, notices, sync_requests } =
                 env.payload
@@ -2129,7 +2158,7 @@ impl Process {
         assert!(!waiting.contains(&me), "a processor does not synchronize with itself");
         let mut readys: Vec<(ProcId, Vt, Vec<PageId>)> = Vec::new();
         while !waiting.is_empty() {
-            let env = self.recv_reply(|m| {
+            let env = self.recv_reply("a consumer's neighbour-sync ready", |m| {
                 matches!(m, TmkMessage::NeighborReady { from, seq: got, .. }
                     if *got == seq && waiting.contains(from))
             });

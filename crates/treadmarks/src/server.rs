@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use msgnet::{Endpoint, NodeId, Port};
+use msgnet::{Endpoint, NetError, NodeId, Port};
 use pagedmem::PageId;
 use sp2model::VirtualTime;
 
@@ -19,13 +19,24 @@ use crate::state::{
 use crate::types::{Interval, LockId, ProcId, Vt};
 
 /// Runs a node's protocol server until a [`TmkMessage::Shutdown`] arrives.
+///
+/// Every blocking receive is bounded by the configured watchdog, but a
+/// timeout here is *not* an error: an idle server between requests is the
+/// normal quiescent state (it is the compute side whose unanswered wait
+/// signals a wedge), so the loop just re-arms the deadline. The bound
+/// exists so the server parks with a fresh wait-board label and can never
+/// be the thread that silently hangs a teardown.
 pub(crate) fn server_loop(endpoint: Arc<Endpoint<TmkMessage>>, shared: Arc<NodeShared>) {
+    let me = endpoint.id().index();
     loop {
-        let envelope = match endpoint.recv(Port::Request) {
+        shared.board.wait(me, true, String::from("the next protocol request (idle)"));
+        let envelope = match endpoint.recv_timeout(Port::Request, shared.watchdog) {
             Ok(envelope) => envelope,
+            Err(NetError::Timeout) => continue,
             // All peers (and the harness) are gone; nothing left to serve.
             Err(_) => return,
         };
+        shared.board.done(me, true);
         let arrived_at = envelope.arrives_at;
         match envelope.payload {
             TmkMessage::Shutdown => return,

@@ -16,6 +16,7 @@ use sp2model::{CostModel, SharedStats, VirtualTime};
 use crate::message::DiffRecord;
 use crate::notice::NoticeLog;
 use crate::types::{Interval, LockId, ProcId, Vt};
+use crate::watch::WaitBoard;
 
 /// How a node can reproduce the modifications of one of its own intervals.
 #[derive(Debug, Clone)]
@@ -315,6 +316,12 @@ pub(crate) struct NodeShared {
     /// The run-wide race-report log, present only when detection is on.
     /// `None` keeps the apply paths on their unhooked fast path.
     pub race: Option<std::sync::Arc<racecheck::RaceLog>>,
+    /// The run-wide wait board: what each thread is currently blocked on,
+    /// rendered into the watchdog's deadlock dump.
+    pub board: std::sync::Arc<WaitBoard>,
+    /// Real-time deadline for every blocking protocol receive (from
+    /// [`DsmConfig::watchdog`](crate::DsmConfig::watchdog)).
+    pub watchdog: std::time::Duration,
 }
 
 impl NodeShared {
@@ -324,6 +331,8 @@ impl NodeShared {
         cost: CostModel,
         stats: SharedStats,
         race: Option<std::sync::Arc<racecheck::RaceLog>>,
+        board: std::sync::Arc<WaitBoard>,
+        watchdog: std::time::Duration,
     ) -> NodeShared {
         let table = PageTable::new();
         let epoch = table.epoch_probe();
@@ -334,6 +343,8 @@ impl NodeShared {
             cost,
             epoch,
             race,
+            board,
+            watchdog,
         }
     }
 

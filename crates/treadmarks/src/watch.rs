@@ -1,0 +1,81 @@
+//! The wait board: what every thread of a run is currently blocked on.
+//!
+//! Each run keeps one board with two slots per processor — one for the
+//! compute thread, one for the protocol-server thread. A thread publishes a
+//! label before parking in a blocking receive and clears it when the message
+//! arrives, so when the watchdog fires the panic message can show the whole
+//! cluster's wait state at once: exactly the information needed to read a
+//! protocol deadlock from a failing test.
+
+use dsm_core::sync::Mutex;
+
+use crate::types::ProcId;
+
+/// One label slot per blocking thread of the run.
+#[derive(Debug)]
+pub(crate) struct WaitBoard {
+    nprocs: usize,
+    /// Slots `0..nprocs` are the compute threads, `nprocs..2*nprocs` the
+    /// protocol servers. `None` means the thread is running, not waiting.
+    slots: Vec<Mutex<Option<String>>>,
+}
+
+impl WaitBoard {
+    pub(crate) fn new(nprocs: usize) -> WaitBoard {
+        WaitBoard { nprocs, slots: (0..2 * nprocs).map(|_| Mutex::new(None)).collect() }
+    }
+
+    fn slot(&self, proc: ProcId, server: bool) -> &Mutex<Option<String>> {
+        &self.slots[if server { self.nprocs + proc } else { proc }]
+    }
+
+    /// Publishes what `proc`'s thread is about to block on.
+    pub(crate) fn wait(&self, proc: ProcId, server: bool, label: String) {
+        *self.slot(proc, server).lock() = Some(label);
+    }
+
+    /// Clears `proc`'s slot: the thread is running again.
+    pub(crate) fn done(&self, proc: ProcId, server: bool) {
+        *self.slot(proc, server).lock() = None;
+    }
+
+    /// The current label of `proc`'s thread, if it is blocked.
+    pub(crate) fn label(&self, proc: ProcId, server: bool) -> Option<String> {
+        self.slot(proc, server).lock().clone()
+    }
+
+    /// Renders the whole cluster's wait state, one line per thread, for the
+    /// watchdog panic message.
+    pub(crate) fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("cluster wait state:");
+        for proc in 0..self.nprocs {
+            let state =
+                |server: bool| self.label(proc, server).unwrap_or_else(|| String::from("running"));
+            let _ = write!(out, "\n  P{proc} compute: {}", state(false));
+            let _ = write!(out, "\n  P{proc} server:  {}", state(true));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_set_clear_and_dump() {
+        let board = WaitBoard::new(2);
+        assert_eq!(board.label(0, false), None);
+        board.wait(0, false, String::from("a lock grant for lock 3"));
+        board.wait(1, true, String::from("requests"));
+        assert_eq!(board.label(0, false).as_deref(), Some("a lock grant for lock 3"));
+        let dump = board.dump();
+        assert!(dump.contains("P0 compute: a lock grant for lock 3"), "{dump}");
+        assert!(dump.contains("P1 server:  requests"), "{dump}");
+        assert!(dump.contains("P1 compute: running"), "{dump}");
+        board.done(0, false);
+        assert_eq!(board.label(0, false), None);
+        assert!(board.dump().contains("P0 compute: running"));
+    }
+}
