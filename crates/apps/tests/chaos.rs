@@ -4,7 +4,7 @@
 //! per-processor checksums stay bit-identical to the fault-free run, and
 //! the race detector observes nothing, at every cluster size.
 
-use dsm_apps::{jacobi, sor, GridConfig, Variant};
+use dsm_apps::{gauss, is, jacobi, sor, GridConfig, Variant};
 use sp2model::CostModel;
 use treadmarks::{Dsm, DsmConfig, DsmRun, NetFaults, Process, RaceDetect};
 
@@ -65,6 +65,72 @@ fn assert_chaos_transparent(app: App, name: &str, cfg: GridConfig, nprocs: usize
     assert!(injected > 0, "the schedules must actually inject faults for {name} at {nprocs} procs");
 }
 
+type AppU64 = fn(&mut Process, &GridConfig, Variant) -> u64;
+
+fn run_app_u64(
+    app: AppU64,
+    cfg: GridConfig,
+    nprocs: usize,
+    variant: Variant,
+    faults: Option<NetFaults>,
+) -> DsmRun<u64> {
+    let config = DsmConfig::new(nprocs)
+        .with_cost_model(CostModel::sp2())
+        .with_race_detect(RaceDetect::Collect)
+        .with_net_faults(faults);
+    Dsm::run(config, move |p| app(p, &cfg, variant))
+}
+
+/// The integer-kernel mirror of [`assert_chaos_transparent`], with one
+/// extra non-vacuity requirement: when `uses_locks` is set the chaotic
+/// runs must actually carry lock traffic, so the fault schedules are
+/// proven to have shaken the grant chain and its piggybacked diffs — the
+/// protocol path the barrier-only kernels never enter.
+fn assert_chaos_transparent_u64(
+    app: AppU64,
+    name: &str,
+    cfg: GridConfig,
+    nprocs: usize,
+    uses_locks: bool,
+) {
+    let mut injected = 0u64;
+    for variant in Variant::ALL {
+        let clean = run_app_u64(app, cfg, nprocs, variant, None);
+        assert!(
+            clean.races.is_empty(),
+            "{name}/{} at {nprocs} procs races fault-free",
+            variant.name()
+        );
+        for seed in SEEDS {
+            let chaotic = run_app_u64(app, cfg, nprocs, variant, Some(NetFaults::chaos(seed)));
+            assert_eq!(
+                clean.results,
+                chaotic.results,
+                "{name}/{} at {nprocs} procs, seed {seed}: checksums must be \
+                 bit-identical to the fault-free run",
+                variant.name()
+            );
+            assert!(
+                chaotic.races.is_empty(),
+                "{name}/{} at {nprocs} procs, seed {seed}: faults must not \
+                 surface as data races",
+                variant.name()
+            );
+            let t = chaotic.stats.total();
+            if uses_locks {
+                assert!(
+                    t.lock_acquires > 0,
+                    "{name}/{} at {nprocs} procs, seed {seed}: the chaotic run \
+                     must exercise the lock-grant path",
+                    variant.name()
+                );
+            }
+            injected += t.net_retransmits + t.net_dups + t.net_reorders + t.net_delays;
+        }
+    }
+    assert!(injected > 0, "the schedules must actually inject faults for {name} at {nprocs} procs");
+}
+
 #[test]
 fn jacobi_is_chaos_transparent_at_2_procs() {
     assert_chaos_transparent(jacobi, "jacobi", GridConfig { rows: 32, cols: 8, iters: 2 }, 2);
@@ -93,6 +159,54 @@ fn sor_is_chaos_transparent_at_4_procs() {
 #[test]
 fn sor_is_chaos_transparent_at_8_procs() {
     assert_chaos_transparent(sor, "sor", GridConfig { rows: 32, cols: 16, iters: 2 }, 8);
+}
+
+#[test]
+fn integer_sort_is_chaos_transparent_at_2_procs() {
+    assert_chaos_transparent_u64(is, "is", GridConfig { rows: 16, cols: 8, iters: 2 }, 2, true);
+}
+
+#[test]
+fn integer_sort_is_chaos_transparent_at_4_procs() {
+    assert_chaos_transparent_u64(is, "is", GridConfig { rows: 16, cols: 12, iters: 2 }, 4, true);
+}
+
+#[test]
+fn integer_sort_is_chaos_transparent_at_8_procs() {
+    assert_chaos_transparent_u64(is, "is", GridConfig { rows: 16, cols: 18, iters: 2 }, 8, true);
+}
+
+#[test]
+fn gauss_is_chaos_transparent_at_2_procs() {
+    assert_chaos_transparent_u64(
+        gauss,
+        "gauss",
+        GridConfig { rows: 16, cols: 8, iters: 2 },
+        2,
+        false,
+    );
+}
+
+#[test]
+fn gauss_is_chaos_transparent_at_4_procs() {
+    assert_chaos_transparent_u64(
+        gauss,
+        "gauss",
+        GridConfig { rows: 16, cols: 12, iters: 2 },
+        4,
+        false,
+    );
+}
+
+#[test]
+fn gauss_is_chaos_transparent_at_8_procs() {
+    assert_chaos_transparent_u64(
+        gauss,
+        "gauss",
+        GridConfig { rows: 16, cols: 18, iters: 2 },
+        8,
+        false,
+    );
 }
 
 #[test]

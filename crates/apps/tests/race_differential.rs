@@ -10,7 +10,7 @@
 //! differential check (see `rsdcomp`'s `differential` module for the
 //! refuse side).
 
-use dsm_apps::{jacobi, sor, GridConfig, Variant};
+use dsm_apps::{gauss, is, jacobi, sor, GridConfig, Variant};
 use sp2model::CostModel;
 use treadmarks::{Dsm, DsmConfig, DsmRun, RaceDetect};
 
@@ -61,6 +61,40 @@ fn assert_report_free(name: &str, app: fn(&mut treadmarks::Process, &GridConfig,
     }
 }
 
+fn assert_report_free_u64(
+    name: &str,
+    app: fn(&mut treadmarks::Process, &GridConfig, Variant) -> u64,
+) {
+    for nprocs in NPROCS_MATRIX {
+        let cfg = GridConfig { rows: 16, cols: 2 * NPROCS_MATRIX[3] + 2, iters: 2 };
+        for variant in Variant::ALL {
+            let config = DsmConfig::new(nprocs)
+                .with_cost_model(CostModel::free())
+                .with_race_detect(RaceDetect::Collect);
+            let run = Dsm::run(config, move |p| app(p, &cfg, variant));
+            assert!(
+                run.races.is_empty(),
+                "{name}/{} @ {nprocs} procs: analyzer-accepted program raced: {:?}",
+                variant.name(),
+                run.races
+            );
+            let totals = run.stats.total();
+            assert_eq!(
+                totals.races_detected,
+                0,
+                "{name}/{} @ {nprocs} procs: stats disagree with the report list",
+                variant.name()
+            );
+            assert_eq!(
+                totals.races_window_trimmed,
+                0,
+                "{name}/{} @ {nprocs} procs: the GC horizon hid part of the history",
+                variant.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn jacobi_is_report_free_in_every_variant() {
     assert_report_free("jacobi", jacobi);
@@ -69,6 +103,39 @@ fn jacobi_is_report_free_in_every_variant() {
 #[test]
 fn sor_is_report_free_in_every_variant() {
     assert_report_free("sor", sor);
+}
+
+#[test]
+fn integer_sort_is_report_free_in_every_variant() {
+    // The lock-based kernel: every acquire-chain edge the compiled plan
+    // relies on (merged lock-grant+data, the lock+barrier merge idiom)
+    // must satisfy the detector as well as the analyzer.
+    assert_report_free_u64("is", is);
+}
+
+#[test]
+fn gauss_is_report_free_in_every_variant() {
+    // The iteration-dependent kernel: the shrinking pivot broadcasts the
+    // compiled plan turns into pushes must never overlap a receiver-side
+    // write.
+    assert_report_free_u64("gauss", gauss);
+}
+
+#[test]
+fn the_lock_path_refusal_closes_the_differential_loop() {
+    // The refuse side for the lock-carrying boundary, run from the apps
+    // crate so the accept side above and the refusal share one test file:
+    // a program whose consumer claims a lock that cannot order the
+    // producer's unguarded writes is statically refused as
+    // `OutsideAcquireChain`, and the hand-run execution of exactly that
+    // pattern draws a race report naming the scattered array.
+    use rsdcomp::{Refusal, RefusalClass};
+    let class = RefusalClass::LockWithoutAcquire;
+    assert_eq!(class.expected_refusal(), Refusal::OutsideAcquireChain);
+    for nprocs in NPROCS_MATRIX {
+        class.compile_refused(nprocs);
+        class.run_racy(nprocs).assert_detected();
+    }
 }
 
 #[test]

@@ -2,9 +2,25 @@
 //! the same checksums as the plain TreadMarks form, with strictly less
 //! protocol traffic at each step up the interface.
 
-use dsm_apps::{jacobi, sor, GridConfig, Variant};
+use dsm_apps::{gauss, is, jacobi, sor, GridConfig, Variant};
 use sp2model::{CostModel, StatsSnapshot};
 use treadmarks::{Dsm, DsmConfig, DsmRun};
+
+fn run_app_u64(
+    app: fn(&mut treadmarks::Process, &GridConfig, Variant) -> u64,
+    cfg: GridConfig,
+    nprocs: usize,
+    variant: Variant,
+) -> DsmRun<u64> {
+    let config = DsmConfig::new(nprocs).with_cost_model(CostModel::free());
+    Dsm::run(config, move |p| app(p, &cfg, variant))
+}
+
+/// XOR-combines the per-processor checksums into the partition-independent
+/// app checksum the pinned constants are stated against.
+fn combined(run: &DsmRun<u64>) -> u64 {
+    run.results.iter().fold(0, |acc, &x| acc ^ x)
+}
 
 fn run_app(
     app: fn(&mut treadmarks::Process, &GridConfig, Variant) -> f64,
@@ -130,6 +146,101 @@ fn kernels_run_on_a_single_processor() {
         let s = run_app(sor, cfg, 1, variant);
         assert_eq!(totals(&j).messages_sent, 0);
         assert_eq!(totals(&s).messages_sent, 0);
+    }
+}
+
+/// 34 columns: uneven blocks at every tested cluster size above 2 (e.g.
+/// 12/11/11 at three processors, 3/3/2/… at sixteen), and small enough
+/// that columns share pages — the matrix exercises false sharing on block
+/// boundaries as well as the remainder handling.
+const IS_CFG: GridConfig = GridConfig { rows: 16, cols: 34, iters: 3 };
+const GAUSS_CFG: GridConfig = GridConfig { rows: 16, cols: 34, iters: 3 };
+
+/// The one true IS checksum: XOR of all per-processor results, pinned once
+/// for every variant and every cluster size (the checksum construction is
+/// partition-independent, see `dsm_apps::mix64`).
+const IS_CHECKSUM: u64 = 0x50b6_86d1_4e82_b051;
+/// The one true Gauss checksum, same contract.
+const GAUSS_CHECKSUM: u64 = 0x966a_47ab_24a5_a211;
+
+#[test]
+fn is_and_gauss_pin_one_checksum_across_variants_and_cluster_sizes() {
+    for nprocs in [1, 2, 3, 4, 8, 16] {
+        for variant in Variant::ALL {
+            let r = run_app_u64(is, IS_CFG, nprocs, variant);
+            assert_eq!(
+                combined(&r),
+                IS_CHECKSUM,
+                "is/{}@{nprocs} must reproduce the pinned checksum",
+                variant.name()
+            );
+            let r = run_app_u64(gauss, GAUSS_CFG, nprocs, variant);
+            assert_eq!(
+                combined(&r),
+                GAUSS_CHECKSUM,
+                "gauss/{}@{nprocs} must reproduce the pinned checksum",
+                variant.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_gauss_eliminates_the_per_step_pivot_barrier() {
+    let compiled = run_app_u64(gauss, GAUSS_CFG, 4, Variant::Compiled);
+    let t = compiled.stats.total();
+    assert_eq!(t.barriers, 0, "the per-step pivot broadcast compiles to pushes");
+    assert!(t.pushes > 0, "the broadcast must actually run point-to-point");
+    let base = run_app_u64(gauss, GAUSS_CFG, 4, Variant::TreadMarks);
+    assert!(
+        base.stats.total().barriers >= 4 * GAUSS_CFG.iters as u64,
+        "the baseline pays one barrier per elimination step"
+    );
+}
+
+#[test]
+fn compiled_is_matches_the_hand_lock_variant_message_for_message() {
+    // The acceptance criterion for the merged lock-grant+data path: the
+    // generated plan's section validation rides the acquire it needs
+    // anyway, so the compiled form sends no extra protocol messages over
+    // the hand-optimized lock variant — zero overhead for going through
+    // the compiler.
+    //
+    // A regression here — validating the merge sections with a standalone
+    // fetch instead of riding the grant — shows up in the structural,
+    // scheduling-invariant counters: an extra `validates` call, or extra
+    // sync operations. Those must match the hand variant exactly, and they
+    // determine the protocol message footprint. The raw message count is
+    // deliberately *not* compared: the lock manager grants in arrival
+    // order, so the acquire chain differs between any two runs and moves
+    // an unbounded-in-practice handful of diffs between the grant
+    // piggyback and third-party fetch pairs — the same noise affects two
+    // runs of the *same* variant.
+    for nprocs in [2, 4, 8] {
+        let push = run_app_u64(is, IS_CFG, nprocs, Variant::Push).stats.total();
+        let compiled = run_app_u64(is, IS_CFG, nprocs, Variant::Compiled).stats.total();
+        assert_eq!(
+            compiled.lock_acquires, push.lock_acquires,
+            "compiled IS must acquire exactly the hand variant's locks at {nprocs} procs"
+        );
+        assert_eq!(
+            compiled.barriers, push.barriers,
+            "compiled IS must keep exactly the hand variant's barriers at {nprocs} procs"
+        );
+        assert_eq!(
+            compiled.pushes, push.pushes,
+            "compiled IS must issue exactly the hand variant's pushes at {nprocs} procs"
+        );
+        assert_eq!(
+            compiled.validate_w_syncs, push.validate_w_syncs,
+            "every compiled section validation must ride a sync operation at {nprocs} procs"
+        );
+        assert!(
+            compiled.validates <= nprocs as u64,
+            "the only standalone validate the compiled plan may issue is the init \
+             boundary's local write preparation (got {} at {nprocs} procs)",
+            compiled.validates
+        );
     }
 }
 

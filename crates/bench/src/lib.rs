@@ -14,15 +14,18 @@
 //! additionally recorded under the flat master-centric barrier
 //! (`validate_flat`) so the tree-vs-flat crossover curve is in the data.
 //!
-//! The checked-in `BENCH_PR5.json` at the repository root is produced by
+//! The checked-in `BENCH_PR8.json` at the repository root is produced by
 //! `cargo run -p dsm-bench` and consumed by `cargo run -p dsm-bench --
 //! --check`, which re-runs the suite and fails if a gated record's model
 //! time regresses by more than 10% — reporting **every** regressed gated
 //! record before exiting non-zero, so a multi-record regression is
 //! diagnosable from one CI log. `cargo run -p dsm-bench -- --explain
 //! <app>` dumps the kernel's compiled plan (phase classifications, refusal
-//! reasons, message counts) deterministically. (`BENCH_PR4.json` and
-//! earlier are kept alongside as previous milestones' numbers.)
+//! reasons, message counts) deterministically. (`BENCH_PR5.json` and
+//! earlier are kept alongside as previous milestones' numbers; the PR5
+//! gated records are additionally pinned bit-exactly against
+//! `BENCH_PR5.json` by a test, so the new matrix rows cannot silently
+//! shift the old ones.)
 //!
 //! `cargo run -p dsm-bench -- --race <app>` runs every kernel/variant of
 //! the matrix twice — race detector off and collecting — and writes the
@@ -32,21 +35,28 @@
 //! `RaceDetect::Off` costs exactly nothing on the gated records and that
 //! `Collect` adds no page-table-lock acquisitions on the warm TLB path.
 //!
-//! Everything here is deterministic: the clocks are *virtual* (message
-//! costs come from the cost model, not the host), the kernels are lock-free
-//! SPMD programs, and the JSON renders records in a fixed order with fixed
-//! field order — two runs of the suite produce byte-identical output.
+//! The barrier-synchronized kernels are fully deterministic: the clocks
+//! are *virtual* (message costs come from the cost model, not the host)
+//! and the JSON renders records in a fixed order with fixed field order,
+//! so their rows are byte-identical across runs. The lock-based IS rows
+//! are the one exception — the lock manager grants in arrival order, so a
+//! handful of diffs move between the grant piggyback and third-party
+//! fetches from run to run, putting a few percent of jitter on their time
+//! and message fields; the regression gate's 10% budget absorbs it.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use dsm_apps::{jacobi, jacobi_program, sor, sor_program, GridConfig, Variant};
+use dsm_apps::{
+    gauss, gauss_program, is, is_program, jacobi, jacobi_program, sor, sor_program, GridConfig,
+    Variant,
+};
 use pagedmem::Addr;
-use sp2model::CostModel;
+use sp2model::{CostModel, StatsSnapshot};
 use treadmarks::{BarrierTopology, Dsm, DsmConfig, NetFaults, SharedArray, SharedMatrix};
 
 /// The schema tag embedded in the JSON output.
-pub const SCHEMA: &str = "dsm-bench/pr5";
+pub const SCHEMA: &str = "dsm-bench/pr8";
 
 /// Allowed model-time regression before the check mode fails, in percent.
 pub const REGRESSION_LIMIT_PCT: f64 = 10.0;
@@ -62,14 +72,99 @@ pub const JACOBI_CFG: GridConfig = GridConfig { rows: 512, cols: 32, iters: 4 };
 /// The standard SOR size.
 pub const SOR_CFG: GridConfig = GridConfig { rows: 512, cols: 32, iters: 3 };
 
+/// The standard integer-sort size. `cols` must reach `2 * nprocs` at the
+/// largest matrix point (16), and small enough that columns share pages, so
+/// the lock-grant piggyback crosses false-sharing boundaries.
+pub const IS_CFG: GridConfig = GridConfig { rows: 64, cols: 32, iters: 3 };
+
+/// The standard Gaussian-elimination size (`iters` elimination steps, each
+/// with an iteration-dependent pivot broadcast).
+pub const GAUSS_CFG: GridConfig = GridConfig { rows: 64, cols: 32, iters: 6 };
+
 /// The `(app, variant, nprocs)` records gated by `--check`: the fully
 /// analyzable push floor and the split-phase barrier-bound Validate path at
 /// the historical 4 processors, the 8-processor Validate record that rides
-/// on the tree-structured barrier, and the 8-processor compiled SOR record
-/// — the generated plan whose eliminated half-sweep barrier must keep it
-/// between the Validate ceiling and the hand-coded push floor.
-pub const GATED: [(&str, &str, usize); 4] =
-    [("jacobi", "push", 4), ("sor", "validate", 4), ("sor", "validate", 8), ("sor", "compiled", 8)];
+/// on the tree-structured barrier, the 8-processor compiled SOR record —
+/// the generated plan whose eliminated half-sweep barrier must keep it
+/// between the Validate ceiling and the hand-coded push floor — and the
+/// 8-processor compiled records of the two PR8 kernels: IS (the merged
+/// lock-grant+data path) and Gauss (the iteration-dependent pivot pushes).
+pub const GATED: [(&str, &str, usize); 6] = [
+    ("jacobi", "push", 4),
+    ("sor", "validate", 4),
+    ("sor", "validate", 8),
+    ("sor", "compiled", 8),
+    ("is", "compiled", 8),
+    ("gauss", "compiled", 8),
+];
+
+/// The kernel entry points keyed by name. The float kernels return the
+/// per-processor residual checksum as `f64`; the integer kernels return a
+/// `u64` mix — one dispatch table so every suite covers both shapes.
+enum AppFn {
+    /// A float-checksum kernel (`jacobi`, `sor`).
+    F64(fn(&mut treadmarks::Process, &GridConfig, Variant) -> f64),
+    /// An integer-checksum kernel (`is`, `gauss`).
+    U64(fn(&mut treadmarks::Process, &GridConfig, Variant) -> u64),
+}
+
+fn app_fn(app: &str) -> AppFn {
+    match app {
+        "jacobi" => AppFn::F64(jacobi),
+        "sor" => AppFn::F64(sor),
+        "is" => AppFn::U64(is),
+        "gauss" => AppFn::U64(gauss),
+        other => panic!("unknown kernel {other:?}"),
+    }
+}
+
+/// One kernel execution reduced to what the suites record: the summed
+/// statistics, the model time, the per-processor checksums as bits (so
+/// float and integer kernels compare the same way) and the race-report
+/// count.
+struct KernelRun {
+    total: StatsSnapshot,
+    time_ns: u64,
+    result_bits: Vec<u64>,
+    races: u64,
+}
+
+fn run_kernel(app: &str, cfg: GridConfig, config: DsmConfig, variant: Variant) -> KernelRun {
+    match app_fn(app) {
+        AppFn::F64(kernel) => {
+            let run = Dsm::run(config, move |p| kernel(p, &cfg, variant));
+            KernelRun {
+                total: run.stats.total(),
+                time_ns: run.execution_time().as_nanos(),
+                result_bits: run.results.iter().map(|s| s.to_bits()).collect(),
+                races: run.races.len() as u64,
+            }
+        }
+        AppFn::U64(kernel) => {
+            let run = Dsm::run(config, move |p| kernel(p, &cfg, variant));
+            KernelRun {
+                total: run.stats.total(),
+                time_ns: run.execution_time().as_nanos(),
+                result_bits: run.results.clone(),
+                races: run.races.len() as u64,
+            }
+        }
+    }
+}
+
+/// The standard size for `app` (the one the suites and `--explain` use).
+pub fn standard_cfg(app: &str) -> GridConfig {
+    match app {
+        "jacobi" => JACOBI_CFG,
+        "sor" => SOR_CFG,
+        "is" => IS_CFG,
+        "gauss" => GAUSS_CFG,
+        other => panic!("unknown kernel {other:?}"),
+    }
+}
+
+/// Every kernel of the suite, in the fixed record order.
+pub const APPS: [&str; 4] = ["jacobi", "sor", "is", "gauss"];
 
 /// One benchmark run: a kernel, a variant, its size, and what it measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,14 +224,9 @@ pub fn run_case_named(
     variant_name: &'static str,
     barrier: BarrierTopology,
 ) -> BenchRecord {
-    let kernel = match app {
-        "jacobi" => jacobi,
-        "sor" => sor,
-        other => panic!("unknown kernel {other:?}"),
-    };
     let config = DsmConfig::new(nprocs).with_cost_model(CostModel::sp2()).with_barrier(barrier);
-    let run = Dsm::run(config, move |p| kernel(p, &cfg, variant));
-    let t = run.stats.total();
+    let run = run_kernel(app, cfg, config, variant);
+    let t = run.total;
     BenchRecord {
         app,
         variant: variant_name,
@@ -144,7 +234,7 @@ pub fn run_case_named(
         rows: cfg.rows,
         cols: cfg.cols,
         iters: cfg.iters,
-        time_ns: run.execution_time().as_nanos(),
+        time_ns: run.time_ns,
         table_lock_acquires: t.table_lock_acquires,
         tlb_hits: t.tlb_hits,
         tlb_misses: t.tlb_misses,
@@ -182,13 +272,14 @@ pub fn run_case(
     run_case_with_barrier(app, cfg, nprocs, variant, BarrierTopology::default())
 }
 
-/// The standard suite: both kernels, all four variants, at the smoke size
-/// used by CI (page-aligned columns) across the `nprocs` matrix — plus the
+/// The standard suite: all four kernels, all four variants, at the smoke
+/// sizes used by CI across the `nprocs` matrix — plus the
 /// `sor/validate_flat` rows (the same protocol under the stock
 /// master-centric barrier) that record the tree-vs-flat crossover curve.
 pub fn suite() -> Vec<BenchRecord> {
     let mut records = Vec::new();
-    for (app, cfg) in [("jacobi", JACOBI_CFG), ("sor", SOR_CFG)] {
+    for app in APPS {
+        let cfg = standard_cfg(app);
         for &nprocs in &NPROCS_MATRIX {
             for variant in Variant::ALL {
                 records.push(run_case(app, cfg, nprocs, variant));
@@ -251,22 +342,15 @@ pub fn run_race_case(
     nprocs: usize,
     variant: Variant,
 ) -> RaceBenchRecord {
-    let kernel = match app {
-        "jacobi" => jacobi,
-        "sor" => sor,
-        other => panic!("unknown kernel {other:?}"),
-    };
     let run_with = |detect: treadmarks::RaceDetect| {
         let config =
             DsmConfig::new(nprocs).with_cost_model(CostModel::sp2()).with_race_detect(detect);
-        Dsm::run(config, move |p| kernel(p, &cfg, variant))
+        run_kernel(app, cfg, config, variant)
     };
     let off = run_with(treadmarks::RaceDetect::Off);
     let on = run_with(treadmarks::RaceDetect::Collect);
-    let time_ns_off = off.execution_time().as_nanos();
-    let time_ns_on = on.execution_time().as_nanos();
     let overhead_centipct =
-        (time_ns_on.saturating_sub(time_ns_off) * 10_000).checked_div(time_ns_off).unwrap_or(0);
+        (on.time_ns.saturating_sub(off.time_ns) * 10_000).checked_div(off.time_ns).unwrap_or(0);
     RaceBenchRecord {
         app,
         variant: variant.name(),
@@ -274,12 +358,12 @@ pub fn run_race_case(
         rows: cfg.rows,
         cols: cfg.cols,
         iters: cfg.iters,
-        time_ns_off,
-        time_ns_on,
+        time_ns_off: off.time_ns,
+        time_ns_on: on.time_ns,
         overhead_centipct,
-        bytes_off: off.stats.total().bytes_sent,
-        bytes_on: on.stats.total().bytes_sent,
-        races: on.races.len() as u64,
+        bytes_off: off.total.bytes_sent,
+        bytes_on: on.total.bytes_sent,
+        races: on.races,
     }
 }
 
@@ -287,13 +371,13 @@ pub fn run_race_case(
 /// across the `nprocs` matrix at the standard suite sizes.
 pub fn race_suite(app: &str) -> Vec<RaceBenchRecord> {
     let mut records = Vec::new();
-    for (name, cfg) in [("jacobi", JACOBI_CFG), ("sor", SOR_CFG)] {
+    for name in APPS {
         if app != "all" && app != name {
             continue;
         }
         for &nprocs in &NPROCS_MATRIX {
             for variant in Variant::ALL {
-                records.push(run_race_case(name, cfg, nprocs, variant));
+                records.push(run_race_case(name, standard_cfg(name), nprocs, variant));
             }
         }
     }
@@ -398,29 +482,19 @@ pub fn run_chaos_cases(
     variant: Variant,
     seeds: &[u64],
 ) -> Vec<ChaosBenchRecord> {
-    let kernel = match app {
-        "jacobi" => jacobi,
-        "sor" => sor,
-        other => panic!("unknown kernel {other:?}"),
-    };
     let run_with = |faults: Option<NetFaults>| {
         let config = DsmConfig::new(nprocs)
             .with_cost_model(CostModel::sp2())
             .with_race_detect(treadmarks::RaceDetect::Collect)
             .with_net_faults(faults);
-        Dsm::run(config, move |p| kernel(p, &cfg, variant))
+        run_kernel(app, cfg, config, variant)
     };
     let clean = run_with(None);
-    let bits = |run: &treadmarks::DsmRun<f64>| {
-        run.results.iter().map(|s| s.to_bits()).collect::<Vec<u64>>()
-    };
-    let clean_bits = bits(&clean);
-    let time_ns_clean = clean.execution_time().as_nanos();
     seeds
         .iter()
         .map(|&seed| {
             let chaos = run_with(Some(NetFaults::chaos(seed)));
-            let t = chaos.stats.total();
+            let t = &chaos.total;
             ChaosBenchRecord {
                 app,
                 variant: variant.name(),
@@ -429,15 +503,15 @@ pub fn run_chaos_cases(
                 cols: cfg.cols,
                 iters: cfg.iters,
                 seed,
-                time_ns_clean,
-                time_ns_chaos: chaos.execution_time().as_nanos(),
+                time_ns_clean: clean.time_ns,
+                time_ns_chaos: chaos.time_ns,
                 retransmits: t.net_retransmits,
                 dups: t.net_dups,
                 reorders: t.net_reorders,
                 delays: t.net_delays,
                 added_delay_ns: t.net_added_delay_ns,
-                checksums_match: bits(&chaos) == clean_bits,
-                races: chaos.races.len() as u64,
+                checksums_match: chaos.result_bits == clean.result_bits,
+                races: chaos.races,
             }
         })
         .collect()
@@ -448,13 +522,19 @@ pub fn run_chaos_cases(
 /// standard suite sizes.
 pub fn chaos_suite(app: &str) -> Vec<ChaosBenchRecord> {
     let mut records = Vec::new();
-    for (name, cfg) in [("jacobi", JACOBI_CFG), ("sor", SOR_CFG)] {
+    for name in APPS {
         if app != "all" && app != name {
             continue;
         }
         for nprocs in [2, 4, 8] {
             for variant in Variant::ALL {
-                records.extend(run_chaos_cases(name, cfg, nprocs, variant, &CHAOS_SEEDS));
+                records.extend(run_chaos_cases(
+                    name,
+                    standard_cfg(name),
+                    nprocs,
+                    variant,
+                    &CHAOS_SEEDS,
+                ));
             }
         }
     }
@@ -547,6 +627,24 @@ pub fn explain_app(app: &str) -> Option<String> {
         "sor" => {
             let cfg = SOR_CFG;
             sor_program(&matrix(&cfg, Addr::ZERO), cfg.iters)
+        }
+        "is" => {
+            let cfg = IS_CFG;
+            let elems = cfg.rows * cfg.cols;
+            let keys =
+                SharedMatrix::new(SharedArray::<u64>::new(Addr::ZERO, elems), cfg.rows, cfg.cols);
+            let hist = SharedMatrix::new(
+                SharedArray::<u64>::new(Addr::new(elems * 8).page_align_up(), elems),
+                cfg.rows,
+                cfg.cols,
+            );
+            is_program(&keys, &hist, cfg.iters)
+        }
+        "gauss" => {
+            let cfg = GAUSS_CFG;
+            let a = matrix(&cfg, Addr::ZERO);
+            let piv = matrix(&cfg, Addr::new(cfg.rows * cfg.cols * 8).page_align_up());
+            gauss_program(&a, &piv, cfg.iters)
         }
         _ => return None,
     };
@@ -771,20 +869,32 @@ mod tests {
         assert_eq!(parsed[1].time_ns, records[1].time_ns);
     }
 
-    #[test]
-    fn regression_gate_fails_on_slowdowns_and_passes_in_budget() {
+    /// The gated records at unit-test sizes, with a matching baseline line
+    /// for each — the shared scaffolding of the gate tests.
+    fn gated_current() -> (Vec<BenchRecord>, String) {
         let small = GridConfig { rows: 64, cols: 16, iters: 2 };
+        let int_small = GridConfig { rows: 16, cols: 18, iters: 2 };
         let current = vec![
             tiny("jacobi", Variant::Push),
             tiny("sor", Variant::Validate),
             run_case("sor", small, 8, Variant::Validate),
             run_case("sor", small, 8, Variant::Compiled),
+            run_case("is", int_small, 8, Variant::Compiled),
+            run_case("gauss", int_small, 8, Variant::Compiled),
         ];
-        // Baselines equal to current: within budget.
-        let same = line("jacobi", "push", 4, current[0].time_ns)
+        let baseline = line("jacobi", "push", 4, current[0].time_ns)
             + &line("sor", "validate", 4, current[1].time_ns)
             + &line("sor", "validate", 8, current[2].time_ns)
-            + &line("sor", "compiled", 8, current[3].time_ns);
+            + &line("sor", "compiled", 8, current[3].time_ns)
+            + &line("is", "compiled", 8, current[4].time_ns)
+            + &line("gauss", "compiled", 8, current[5].time_ns);
+        (current, baseline)
+    }
+
+    #[test]
+    fn regression_gate_fails_on_slowdowns_and_passes_in_budget() {
+        let (current, same) = gated_current();
+        // Baselines equal to current: within budget.
         assert!(check_regression(&current, &same).is_ok());
         // Any gated baseline much faster than current: gate trips.
         for fast in 0..current.len() {
@@ -807,27 +917,19 @@ mod tests {
         // The satellite acceptance criterion: with several gated records
         // over budget at once, the error must name each of them — not bail
         // on the first — so one CI log diagnoses the whole regression.
-        let small = GridConfig { rows: 64, cols: 16, iters: 2 };
-        let mut current = vec![
-            tiny("jacobi", Variant::Push),
-            tiny("sor", Variant::Validate),
-            run_case("sor", small, 8, Variant::Validate),
-            run_case("sor", small, 8, Variant::Compiled),
-        ];
-        let baseline = line("jacobi", "push", 4, current[0].time_ns)
-            + &line("sor", "validate", 4, current[1].time_ns)
-            + &line("sor", "validate", 8, current[2].time_ns)
-            + &line("sor", "compiled", 8, current[3].time_ns);
-        // Regress three of the four gated records.
+        let (mut current, baseline) = gated_current();
+        // Regress four of the six gated records.
         current[0].time_ns *= 2;
         current[2].time_ns *= 3;
         current[3].time_ns *= 4;
+        current[4].time_ns *= 5;
         let err = check_regression(&current, &baseline).expect_err("gate must trip");
-        for needle in ["jacobi/push@4", "sor/validate@8", "sor/compiled@8"] {
+        for needle in ["jacobi/push@4", "sor/validate@8", "sor/compiled@8", "is/compiled@8"] {
             assert!(err.contains(needle), "error must name {needle}: {err}");
         }
         assert!(!err.contains("sor/validate@4 model time"), "in-budget records are not failures");
-        assert_eq!(err.lines().count(), 3, "one line per regressed record: {err}");
+        assert!(!err.contains("gauss/compiled@8 model time"), "in-budget records are not failures");
+        assert_eq!(err.lines().count(), 4, "one line per regressed record: {err}");
     }
 
     #[test]
@@ -857,8 +959,8 @@ mod tests {
     }
 
     #[test]
-    fn explain_dumps_are_deterministic_and_cover_both_kernels() {
-        for app in ["jacobi", "sor"] {
+    fn explain_dumps_are_deterministic_and_cover_every_kernel() {
+        for app in APPS {
             let a = explain_app(app).expect("known kernel");
             let b = explain_app(app).expect("known kernel");
             assert_eq!(a, b, "{app} explain must be byte-deterministic");
@@ -866,6 +968,8 @@ mod tests {
         }
         assert!(explain_app("sor").expect("sor").contains("eliminated-barrier"));
         assert!(explain_app("jacobi").expect("jacobi").contains("push"));
+        assert!(explain_app("is").expect("is").contains("lock"));
+        assert!(explain_app("gauss").expect("gauss").contains("push"));
         assert!(explain_app("nope").is_none());
     }
 
@@ -879,17 +983,7 @@ mod tests {
         // 4- and 8-processor comparisons both matched it and tripped the
         // gate. With `(app, variant, nprocs)` keying each record finds its
         // own line and the gate passes.
-        let cfg = GridConfig { rows: 64, cols: 16, iters: 2 };
-        let current = vec![
-            run_case("jacobi", cfg, 4, Variant::Push),
-            run_case("sor", cfg, 4, Variant::Validate),
-            run_case("sor", cfg, 8, Variant::Validate),
-            run_case("sor", cfg, 8, Variant::Compiled),
-        ];
-        let tail = line("jacobi", "push", 4, current[0].time_ns)
-            + &line("sor", "validate", 4, current[1].time_ns)
-            + &line("sor", "validate", 8, current[2].time_ns)
-            + &line("sor", "compiled", 8, current[3].time_ns);
+        let (current, tail) = gated_current();
         let baseline = line("sor", "validate", 2, 1) + &tail;
         let report = check_regression(&current, &baseline)
             .expect("per-nprocs keying must match the right record");
@@ -1055,47 +1149,64 @@ mod tests {
 
     #[test]
     fn net_faults_off_is_bit_identical_to_the_checked_in_baseline() {
-        // The ISSUE acceptance criterion, cross-commit-enforced: with
-        // faults Off (the default), every gated record must reproduce the
-        // checked-in pre-reliability baseline *exactly* — same model time,
-        // same wire bytes, same table-lock count — proving the reliable-
-        // delivery layer costs literally nothing when disabled. Any header
-        // byte, extra lock, or timing nudge on the Off path breaks this.
-        let baseline_json =
-            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json"))
-                .expect("the checked-in BENCH_PR5.json baseline");
-        for &(app, variant_name, nprocs) in &GATED {
-            let (cfg, variant) = match (app, variant_name) {
-                ("jacobi", "push") => (JACOBI_CFG, Variant::Push),
-                ("sor", "validate") => (SOR_CFG, Variant::Validate),
-                ("sor", "compiled") => (SOR_CFG, Variant::Compiled),
-                other => panic!("unmapped gated record {other:?}"),
-            };
-            let cur = run_case(app, cfg, nprocs, variant);
-            let line = baseline_json
-                .lines()
-                .find(|l| {
-                    str_field(l, "app").as_deref() == Some(app)
-                        && str_field(l, "variant").as_deref() == Some(variant_name)
-                        && u64_field(l, "nprocs") == Some(nprocs as u64)
-                })
-                .unwrap_or_else(|| panic!("baseline line for {app}/{variant_name}@{nprocs}"));
-            let key = format!("{app}/{variant_name}@{nprocs}");
-            assert_eq!(
-                Some(cur.time_ns),
-                u64_field(line, "time_ns"),
-                "{key}: faults-Off model time must equal the baseline exactly"
-            );
-            assert_eq!(
-                Some(cur.bytes),
-                u64_field(line, "bytes"),
-                "{key}: faults-Off wire bytes must equal the baseline exactly"
-            );
-            assert_eq!(
-                Some(cur.table_lock_acquires),
-                u64_field(line, "table_lock_acquires"),
-                "{key}: faults-Off table-lock count must equal the baseline exactly"
-            );
+        // The PR7 acceptance criterion, cross-commit-enforced: with
+        // faults Off (the default), gated records must reproduce a
+        // checked-in baseline *exactly* — same model time, same wire
+        // bytes, same table-lock count — proving the reliable-delivery
+        // layer costs literally nothing when disabled. Any header byte,
+        // extra lock, or timing nudge on the Off path breaks this.
+        //
+        // Which baseline depends on the record. The uncompiled PR5-era
+        // records still match BENCH_PR5.json bit-for-bit. The compiled
+        // records re-pin at BENCH_PR8.json: the lock-carrying boundary
+        // work changed the compiled plans' merged data+sync wire format
+        // (sor/compiled@8 sends 6168 fewer bytes than the PR5 encoding,
+        // with every structural counter — messages, table locks, faults,
+        // merged sync messages — unchanged). is/compiled is absent from
+        // both lists because lock-grant arrival order jitters its wire
+        // traffic run-to-run; its gate is the 10% regression budget.
+        type Pinned = &'static [(&'static str, &'static str, usize)];
+        const PR5_PINNED: Pinned =
+            &[("jacobi", "push", 4), ("sor", "validate", 4), ("sor", "validate", 8)];
+        const PR8_PINNED: Pinned = &[("sor", "compiled", 8), ("gauss", "compiled", 8)];
+        let pins = [("BENCH_PR5.json", PR5_PINNED), ("BENCH_PR8.json", PR8_PINNED)];
+        for (file, records) in pins {
+            let baseline_json =
+                std::fs::read_to_string(format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR")))
+                    .unwrap_or_else(|err| panic!("the checked-in {file} baseline: {err}"));
+            for &(app, variant_name, nprocs) in records {
+                let variant = match variant_name {
+                    "push" => Variant::Push,
+                    "validate" => Variant::Validate,
+                    "compiled" => Variant::Compiled,
+                    other => panic!("unmapped variant {other:?}"),
+                };
+                let cur = run_case(app, standard_cfg(app), nprocs, variant);
+                let line = baseline_json
+                    .lines()
+                    .find(|l| {
+                        str_field(l, "app").as_deref() == Some(app)
+                            && str_field(l, "variant").as_deref() == Some(variant_name)
+                            && u64_field(l, "nprocs") == Some(nprocs as u64)
+                    })
+                    .unwrap_or_else(|| panic!("{file} line for {app}/{variant_name}@{nprocs}"));
+                let key = format!("{app}/{variant_name}@{nprocs} vs {file}");
+                assert_eq!(
+                    Some(cur.time_ns),
+                    u64_field(line, "time_ns"),
+                    "{key}: faults-Off model time must equal the baseline exactly"
+                );
+                assert_eq!(
+                    Some(cur.bytes),
+                    u64_field(line, "bytes"),
+                    "{key}: faults-Off wire bytes must equal the baseline exactly"
+                );
+                assert_eq!(
+                    Some(cur.table_lock_acquires),
+                    u64_field(line, "table_lock_acquires"),
+                    "{key}: faults-Off table-lock count must equal the baseline exactly"
+                );
+            }
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Command-line entry point of the benchmark harness.
 //!
-//! * `cargo run -p dsm-bench` — run the suite and write `BENCH_PR5.json`
+//! * `cargo run -p dsm-bench` — run the suite and write `BENCH_PR8.json`
 //!   (path configurable with `--out`), printing a summary table.
 //! * `cargo run -p dsm-bench -- --check` — run the suite and compare it
 //!   against the checked-in baseline (path configurable with
@@ -11,13 +11,13 @@
 //!   counts) deterministically, without running the suite. May be given
 //!   more than once.
 //! * `cargo run -p dsm-bench -- --race <app>` — run `<app>` (`jacobi`,
-//!   `sor` or `all`) in every variant across the cluster matrix twice,
-//!   with the race detector off and collecting, print the overhead table
-//!   and write `BENCH_PR6.json` (path configurable with `--out`). These
-//!   records are informational and never gated.
+//!   `sor`, `is`, `gauss` or `all`) in every variant across the cluster
+//!   matrix twice, with the race detector off and collecting, print the
+//!   overhead table and write `BENCH_PR6.json` (path configurable with
+//!   `--out`). These records are informational and never gated.
 //! * `cargo run -p dsm-bench -- --chaos <app>` — run `<app>` (`jacobi`,
-//!   `sor` or `all`) in every variant at 2/4/8 processors under three
-//!   seeded fault schedules, assert every checksum bit-identical to the
+//!   `sor`, `is`, `gauss` or `all`) in every variant at 2/4/8 processors
+//!   under three seeded fault schedules, assert every checksum bit-identical to the
 //!   fault-free run (non-zero exit otherwise), print the fault-injection
 //!   table and write `BENCH_PR7.json` (path configurable with `--out`).
 //!   The records themselves are informational and never gated; only
@@ -32,7 +32,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check = false;
     let mut out: Option<String> = None;
-    let mut baseline = String::from("BENCH_PR5.json");
+    let mut baseline = String::from("BENCH_PR8.json");
     let mut explain: Vec<String> = Vec::new();
     let mut race: Option<String> = None;
     let mut chaos: Option<String> = None;
@@ -53,8 +53,8 @@ fn main() {
     }
 
     if let Some(app) = chaos {
-        if !matches!(app.as_str(), "jacobi" | "sor" | "all") {
-            eprintln!("unknown kernel {app:?} (known: jacobi, sor, all)");
+        if !matches!(app.as_str(), "jacobi" | "sor" | "is" | "gauss" | "all") {
+            eprintln!("unknown kernel {app:?} (known: jacobi, sor, is, gauss, all)");
             std::process::exit(2);
         }
         eprintln!("running the chaos suite for {app} (SP/2 cost model, seeded fault schedules)...");
@@ -103,8 +103,8 @@ fn main() {
     }
 
     if let Some(app) = race {
-        if !matches!(app.as_str(), "jacobi" | "sor" | "all") {
-            eprintln!("unknown kernel {app:?} (known: jacobi, sor, all)");
+        if !matches!(app.as_str(), "jacobi" | "sor" | "is" | "gauss" | "all") {
+            eprintln!("unknown kernel {app:?} (known: jacobi, sor, is, gauss, all)");
             std::process::exit(2);
         }
         eprintln!("running the race-detector overhead suite for {app} (SP/2 cost model)...");
@@ -133,7 +133,7 @@ fn main() {
         eprintln!("wrote {out} (informational, not gated)");
         return;
     }
-    let out = out.unwrap_or_else(|| String::from("BENCH_PR5.json"));
+    let out = out.unwrap_or_else(|| String::from("BENCH_PR8.json"));
 
     if !explain.is_empty() {
         for app in &explain {
@@ -143,7 +143,7 @@ fn main() {
                     print!("{dump}");
                 }
                 None => {
-                    eprintln!("unknown kernel {app:?} (known: jacobi, sor)");
+                    eprintln!("unknown kernel {app:?} (known: jacobi, sor, is, gauss)");
                     std::process::exit(2);
                 }
             }

@@ -14,7 +14,7 @@
 //! The legality contract for each call is specified in `DESIGN.md`.
 
 use pagedmem::AddrRange;
-use treadmarks::{PendingSync, PhasePlan, ProcId, Process, SyncOp};
+use treadmarks::{LockId, PendingSync, PhasePlan, ProcId, Process, SyncOp};
 
 use crate::section::RegularSection;
 
@@ -199,6 +199,20 @@ pub fn validate_w_sync_complete(p: &mut Process, pending: PendingValidate) -> Se
     p.stats().split_phase_completes(1);
     let pages_warmed = p.sync_phase_complete(pending.pending);
     SectionGrant { pages_warmed, epoch: p.protection_epoch() }
+}
+
+/// `Release(lock)`: the exit of a lock-guarded phase. Flushes the guarded
+/// writes (diffs, write notices) and hands the lock to the next queued
+/// requester — whose grant message carries those diffs when its acquire
+/// named the sections via [`validate_w_sync`]/[`validate_w_sync_issue`]
+/// with [`SyncOp::Lock`]: the paper's merged lock-grant+data message, at
+/// zero extra protocol messages over a plain release.
+///
+/// **Contract:** pairs with an acquire of the same lock on this processor
+/// (`validate_w_sync*` with `SyncOp::Lock`, or the runtime's plain
+/// `lock_acquire`); releasing a lock not held panics in the runtime.
+pub fn release(p: &mut Process, lock: LockId) {
+    p.lock_release(lock);
 }
 
 /// `Neighbor_sync(producers, consumers, regions)`: replaces a barrier the

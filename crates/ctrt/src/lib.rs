@@ -57,7 +57,7 @@ mod api;
 mod section;
 
 pub use api::{
-    neighbor_sync, neighbor_sync_issue, push_phase, validate, validate_w_sync,
+    neighbor_sync, neighbor_sync_issue, push_phase, release, validate, validate_w_sync,
     validate_w_sync_complete, validate_w_sync_issue, warm_sections, PendingValidate, Push,
     SectionGrant,
 };

@@ -22,7 +22,7 @@
 //!   is always sound: the full barrier preserves every happens-before edge.
 
 use pagedmem::AddrRange;
-use treadmarks::ProcId;
+use treadmarks::{LockId, ProcId};
 
 use crate::ir::{Access, ColSpan, Phase, Program};
 
@@ -32,7 +32,9 @@ pub enum Refusal {
     /// Two processors' write sections of the producer phase overlap: the
     /// phase's output is order-dependent at section granularity, and only
     /// the barrier's global ordering (plus the multiple-writer protocol
-    /// underneath) is known to preserve it.
+    /// underneath) is known to preserve it. Overlapping writes inside
+    /// phases guarded by the *same* lock are exempt: the lock's acquire
+    /// chain orders them.
     OverlappingWrites,
     /// A section of either phase is non-affine ([`ColSpan::Unknown`]): the
     /// consumer set cannot be computed, so no named-producer sync can be
@@ -52,6 +54,12 @@ pub enum Refusal {
     /// *whole* kernel bypasses the protocol; here the dependence data must
     /// travel as (delta-exact) diffs instead.
     MixedWithManagedPhases,
+    /// A dependence flows into a lock-guarded phase from writes the lock's
+    /// acquire chain does not order — made unguarded, or under a
+    /// *different* lock. The grant merges only the chain's knowledge, so
+    /// the acquire alone cannot deliver those notices: the claimed lock
+    /// synchronization is insufficient and the full barrier survives.
+    OutsideAcquireChain,
 }
 
 impl Refusal {
@@ -62,6 +70,7 @@ impl Refusal {
             Refusal::NonAffine => "non-affine",
             Refusal::NonNeighbourDependence => "non-neighbour-dependence",
             Refusal::MixedWithManagedPhases => "mixed-with-managed-phases",
+            Refusal::OutsideAcquireChain => "outside-acquire-chain",
         }
     }
 }
@@ -87,6 +96,12 @@ pub enum BoundaryClass {
     EliminatedBarrier,
     /// The barrier and the DSM protocol are both replaced by direct pushes.
     Push,
+    /// The boundary enters a lock-guarded phase and every remaining
+    /// dependence is ordered by that lock's acquire chain: the entry is a
+    /// lock acquire with the phase's sections validated on the grant (the
+    /// paper's merged lock-grant+data message) and the phase exit a
+    /// release — no barrier at all.
+    Lock(LockId),
 }
 
 impl BoundaryClass {
@@ -97,6 +112,7 @@ impl BoundaryClass {
             BoundaryClass::FullBarrier { .. } => "barrier",
             BoundaryClass::EliminatedBarrier => "eliminated-barrier",
             BoundaryClass::Push => "push",
+            BoundaryClass::Lock(_) => "lock",
         }
     }
 }
@@ -123,21 +139,30 @@ pub struct BoundaryAnalysis {
     pub pairs: Vec<DepPair>,
 }
 
+/// One pending (or lowered) write: its extent, whether it carries the pure
+/// `WRITE_ALL` assertion, and the lock guarding the phase that made it.
+#[derive(Debug, Clone, Copy)]
+struct WriteEntry {
+    range: AddrRange,
+    pure_write_all: bool,
+    lock: Option<LockId>,
+}
+
 /// A phase's sections lowered for one processor.
 struct Lowered {
-    /// `(range, pure WRITE_ALL)` for every written section.
-    writes: Vec<(AddrRange, bool)>,
+    /// Every written section.
+    writes: Vec<WriteEntry>,
     /// `(range, via All span)` for every read section.
     reads: Vec<(AddrRange, bool)>,
     /// The phase names a non-affine section.
     unknown: bool,
 }
 
-fn lower(program: &Program, nprocs: usize, me: ProcId, phase: &Phase) -> Lowered {
+fn lower(program: &Program, nprocs: usize, me: ProcId, phase: &Phase, iter: usize) -> Lowered {
     let mut out = Lowered { writes: Vec::new(), reads: Vec::new(), unknown: false };
     for access in &phase.accesses {
         let decl = &program.arrays[access.array];
-        let Some(cols) = access.span.eval(decl.cols, nprocs, me) else {
+        let Some(cols) = access.span.eval(decl.cols, nprocs, me, iter) else {
             out.unknown = true;
             continue;
         };
@@ -146,7 +171,11 @@ fn lower(program: &Program, nprocs: usize, me: ProcId, phase: &Phase) -> Lowered
         }
         let range = decl.col_range(cols.start, cols.end);
         if access.writes() {
-            out.writes.push((range, access.access == Access::WriteAll));
+            out.writes.push(WriteEntry {
+                range,
+                pure_write_all: access.access == Access::WriteAll,
+                lock: phase.lock,
+            });
         }
         if access.reads() {
             out.reads.push((range, access.span == ColSpan::All));
@@ -173,15 +202,16 @@ fn lower(program: &Program, nprocs: usize, me: ProcId, phase: &Phase) -> Lowered
 #[derive(Debug, Clone)]
 pub struct PendingWrites {
     nprocs: usize,
-    /// `unseen[p * nprocs + q]`: `(range, pure WRITE_ALL)` writes of `p`
-    /// that `q` has no consistency information for.
-    unseen: Vec<Vec<(AddrRange, bool)>>,
+    /// `unseen[p * nprocs + q]`: writes of `p` that `q` has no consistency
+    /// information for.
+    unseen: Vec<Vec<WriteEntry>>,
     /// A non-affine write is pending: its extent is unknowable, so every
     /// boundary until the next full barrier must refuse.
     unknown: bool,
     /// An overlapping cross-processor write is pending: the region's value
     /// is order-dependent at section granularity, so every boundary until
-    /// the next full barrier must refuse.
+    /// the next full barrier must refuse. Writes guarded by the *same*
+    /// lock are exempt — the acquire chain serializes and orders them.
     overlap: bool,
 }
 
@@ -196,19 +226,23 @@ impl PendingWrites {
         }
     }
 
-    /// Accumulates `phase`'s writes (every other processor becomes a
-    /// potential consumer), recording non-affine writes and cross-processor
-    /// write overlaps as sticky refusal conditions.
-    pub fn add_phase_writes(&mut self, program: &Program, phase: &Phase) {
+    /// Accumulates the writes of `phase`'s occurrence at loop iteration
+    /// `iter` (every other processor becomes a potential consumer),
+    /// recording non-affine writes and unordered cross-processor write
+    /// overlaps as sticky refusal conditions.
+    pub fn add_phase_writes(&mut self, program: &Program, phase: &Phase, iter: usize) {
         let nprocs = self.nprocs;
         let lowered: Vec<Lowered> =
-            (0..nprocs).map(|me| lower(program, nprocs, me, phase)).collect();
+            (0..nprocs).map(|me| lower(program, nprocs, me, phase, iter)).collect();
         self.unknown |=
             phase.accesses.iter().any(|a| a.span == ColSpan::Unknown && a.access.is_write());
         for p in 0..nprocs {
             for q in p + 1..nprocs {
-                self.overlap |= lowered[p].writes.iter().any(|(wp, _)| {
-                    lowered[q].writes.iter().any(|(wq, _)| wp.intersect(wq).is_some())
+                self.overlap |= lowered[p].writes.iter().any(|wp| {
+                    lowered[q].writes.iter().any(|wq| {
+                        wp.range.intersect(&wq.range).is_some()
+                            && (wp.lock.is_none() || wp.lock != wq.lock)
+                    })
                 });
             }
         }
@@ -239,18 +273,36 @@ impl PendingWrites {
     pub fn clear_pair(&mut self, producer: ProcId, consumer: ProcId) {
         self.unseen[producer * self.nprocs + consumer].clear();
     }
+
+    /// A lock acquire: writes made inside phases guarded by `lock` clear
+    /// pair-wise along the acquire chain. Every critical section on `lock`
+    /// is totally ordered, each holder's release flushes its guarded
+    /// writes, and every grant merges the granter's timestamp — so by the
+    /// time any processor enters a later phase guarded by the same lock,
+    /// the chain has delivered it the notices of every earlier guarded
+    /// write, whichever processors made them.
+    pub fn clear_lock(&mut self, lock: LockId) {
+        for v in &mut self.unseen {
+            v.retain(|w| w.lock != Some(lock));
+        }
+    }
 }
 
-/// Classifies the boundary into `next` given the writes accumulated so far
-/// (see [`PendingWrites`]) — the form [`crate::compile`] uses along its
-/// walk of the unrolled program.
+/// Classifies the boundary into `next`'s occurrence at loop iteration
+/// `next_iter` given the writes accumulated so far (see [`PendingWrites`])
+/// — the form [`crate::compile`] uses along its walk of the unrolled
+/// program. When `next` is lock-guarded the caller must have cleared the
+/// lock's own chain-ordered writes first ([`PendingWrites::clear_lock`]):
+/// whatever remains is what the acquire *cannot* deliver.
 pub fn classify_against_pending(
     program: &Program,
     nprocs: usize,
     pending: &PendingWrites,
     next: &Phase,
+    next_iter: usize,
 ) -> BoundaryAnalysis {
-    let nexts: Vec<Lowered> = (0..nprocs).map(|me| lower(program, nprocs, me, next)).collect();
+    let nexts: Vec<Lowered> =
+        (0..nprocs).map(|me| lower(program, nprocs, me, next, next_iter)).collect();
     let refuse = |refusal| BoundaryAnalysis {
         class: BoundaryClass::FullBarrier { refusal: Some(refusal), gc_forced: false },
         pairs: Vec::new(),
@@ -267,18 +319,20 @@ pub fn classify_against_pending(
     let mut all_pushable = true;
     let mut any_cross_block = false;
     let mut all_neighbours = true;
+    let mut any_locked = false;
     for producer in 0..nprocs {
         for (consumer, consumed) in nexts.iter().enumerate() {
             if producer == consumer {
                 continue;
             }
             let mut regions = Vec::new();
-            for &(write, pure_write_all) in &pending.unseen[producer * nprocs + consumer] {
+            for write in &pending.unseen[producer * nprocs + consumer] {
                 for &(read, via_all) in &consumed.reads {
-                    if let Some(region) = write.intersect(&read) {
+                    if let Some(region) = write.range.intersect(&read) {
                         regions.push(region);
-                        all_pushable &= pure_write_all;
+                        all_pushable &= write.pure_write_all;
                         any_cross_block |= via_all;
+                        any_locked |= write.lock.is_some();
                     }
                 }
             }
@@ -290,7 +344,34 @@ pub fn classify_against_pending(
         }
     }
     if pairs.is_empty() {
-        return BoundaryAnalysis { class: BoundaryClass::NoComm, pairs };
+        return BoundaryAnalysis {
+            class: match next.lock {
+                // Nothing the acquire chain does not already order: the
+                // entry is the acquire itself, validating the phase's
+                // sections on the grant.
+                Some(lock) => BoundaryClass::Lock(lock),
+                None => BoundaryClass::NoComm,
+            },
+            pairs,
+        };
+    }
+    if next.lock.is_some() {
+        // Dependences survive the chain clearing: they were written
+        // unguarded or under a different lock, and the acquire cannot
+        // deliver their notices.
+        return refuse(Refusal::OutsideAcquireChain);
+    }
+    if any_locked {
+        // Lock-ordered producers feeding an unguarded reader — the paper's
+        // lock+barrier idiom (IS's histogram merge). The holder order is
+        // runtime-determined, so no static producer naming is possible and
+        // the barrier *is* the intended synchronization, not a refusal; it
+        // is also required whenever any dependence is lock-ordered, which
+        // is why a mixed boundary lands here too.
+        return BoundaryAnalysis {
+            class: BoundaryClass::FullBarrier { refusal: None, gc_forced: false },
+            pairs,
+        };
     }
     if any_cross_block {
         return BoundaryAnalysis {
@@ -333,6 +414,9 @@ pub fn analyze_boundary(
     next: &Phase,
 ) -> BoundaryAnalysis {
     let mut pending = PendingWrites::new(nprocs);
-    pending.add_phase_writes(program, prev);
-    classify_against_pending(program, nprocs, &pending, next)
+    pending.add_phase_writes(program, prev, 0);
+    if let Some(lock) = next.lock {
+        pending.clear_lock(lock);
+    }
+    classify_against_pending(program, nprocs, &pending, next, 0)
 }

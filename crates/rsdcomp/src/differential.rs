@@ -49,14 +49,26 @@ pub enum RefusalClass {
     /// reduction the read stands for without the barrier, racing on the
     /// shared accumulator.
     CrossBlockNoBarrier,
+    /// Unguarded writes feeding a lock-guarded reader, refused as
+    /// [`Refusal::OutsideAcquireChain`]: the acquire chain orders only
+    /// writes made inside critical sections on the same lock, so the
+    /// claimed synchronization cannot deliver the producer's notices. The
+    /// racy execution takes the lock and reads while the other processors'
+    /// raw scatter is still in flight.
+    LockWithoutAcquire,
 }
+
+/// The lock the [`RefusalClass::LockWithoutAcquire`] program claims (and
+/// its racy execution actually takes) as the consumer's synchronization.
+const GATHER_LOCK: treadmarks::LockId = 9;
 
 impl RefusalClass {
     /// Every class, in a stable order.
-    pub const ALL: [RefusalClass; 3] = [
+    pub const ALL: [RefusalClass; 4] = [
         RefusalClass::OverlappingWrites,
         RefusalClass::NonAffine,
         RefusalClass::CrossBlockNoBarrier,
+        RefusalClass::LockWithoutAcquire,
     ];
 
     /// Stable lowercase name for diagnostics.
@@ -65,6 +77,7 @@ impl RefusalClass {
             RefusalClass::OverlappingWrites => "overlapping-writes",
             RefusalClass::NonAffine => "non-affine",
             RefusalClass::CrossBlockNoBarrier => "cross-block-no-barrier",
+            RefusalClass::LockWithoutAcquire => "lock-without-acquire",
         }
     }
 
@@ -75,6 +88,7 @@ impl RefusalClass {
             RefusalClass::OverlappingWrites => Refusal::OverlappingWrites,
             RefusalClass::NonAffine => Refusal::NonAffine,
             RefusalClass::CrossBlockNoBarrier => Refusal::NonNeighbourDependence,
+            RefusalClass::LockWithoutAcquire => Refusal::OutsideAcquireChain,
         }
     }
 
@@ -99,6 +113,23 @@ impl RefusalClass {
             RefusalClass::CrossBlockNoBarrier => (
                 Phase::new("update", vec![SectionAccess::new(0, ColSpan::OwnBlock, Access::Write)]),
                 Phase::new("reduce", vec![SectionAccess::new(0, ColSpan::All, Access::Read)]),
+            ),
+            // Block-local writes made *outside* any critical section,
+            // consumed by a phase that claims a lock as its only
+            // synchronization: the acquire chain has nothing to clear. The
+            // gather is a read-modify-write (an in-place accumulation, the
+            // shape of IS's histogram merge) so the refused pattern is a
+            // write/write race the detector's diff evidence can witness.
+            RefusalClass::LockWithoutAcquire => (
+                Phase::new(
+                    "scatter",
+                    vec![SectionAccess::new(0, ColSpan::OwnBlock, Access::Write)],
+                ),
+                Phase::guarded(
+                    "gather",
+                    vec![SectionAccess::new(0, ColSpan::All, Access::ReadWrite)],
+                    GATHER_LOCK,
+                ),
             ),
         };
         Program { arrays: vec![decl], nodes: vec![Node::Phase(produce), Node::Phase(consume)] }
@@ -146,6 +177,7 @@ impl RefusalClass {
                 RefusalClass::OverlappingWrites => racy_overlapping_writes(p),
                 RefusalClass::NonAffine => racy_non_affine(p),
                 RefusalClass::CrossBlockNoBarrier => racy_cross_block(p),
+                RefusalClass::LockWithoutAcquire => racy_lock_without_acquire(p),
             };
             *seen.lock().unwrap() = Some(range);
             sum
@@ -263,4 +295,45 @@ fn racy_cross_block(p: &mut Process) -> (u64, AddrRange) {
     let sum = p.get(&acc, 0);
     p.barrier();
     (sum, range)
+}
+
+/// The lock taken without the ordering it claims: every processor scatters
+/// into its own block *outside* any critical section, and processor 0
+/// acquires the lock and accumulates into the whole array under it. The
+/// grant merges no prior holder's timestamp (there is none), so the guarded
+/// read-modify-writes are concurrent with every other processor's scatter
+/// of the same words — a write/write race the diffs witness at the barrier.
+/// Only one processor acquires, keeping the report set independent of
+/// grant arrival order: the race is the scatter/gather pair, not a
+/// holder-order artifact.
+fn racy_lock_without_acquire(p: &mut Process) -> (u64, AddrRange) {
+    let me = p.proc_id();
+    let nprocs = p.nprocs();
+    let rows = 64;
+    let a = p.alloc_array::<u64>(rows * 2 * nprocs);
+    let own = crate::ir::col_block(2 * nprocs, nprocs, me);
+    for col in own {
+        p.set(&a, col * rows, 1 + me as u64);
+    }
+    let sum = if me == 0 {
+        p.lock_acquire(GATHER_LOCK);
+        let mut s = 0;
+        for col in 0..2 * nprocs {
+            let v = p.get(&a, col * rows);
+            p.set(&a, col * rows, v + 100);
+            s += v;
+        }
+        p.lock_release(GATHER_LOCK);
+        s
+    } else {
+        0
+    };
+    let range = a.full_range();
+    p.barrier();
+    // The post-barrier readback is what forces the lazy diffs to travel:
+    // applying the concurrent scatter and gather diffs of the same words
+    // is where the detector sees the pair.
+    let readback: u64 = (0..2 * nprocs).map(|col| p.get(&a, col * rows)).sum();
+    p.barrier();
+    (sum ^ readback, range)
 }

@@ -10,7 +10,7 @@
 use ctrt::PendingValidate;
 use treadmarks::Process;
 
-use crate::plan::BoundaryOp;
+use crate::plan::{BoundaryOp, PlanStep};
 
 /// An entry op in flight: either already finished (local prep, pushes) or
 /// a pending split-phase synchronization to be completed where the fetched
@@ -45,6 +45,12 @@ pub fn issue(p: &mut Process, op: &BoundaryOp) -> Issued {
             treadmarks::SyncOp::Barrier,
             sections,
         ))),
+        BoundaryOp::Lock { lock, sections } => Issued::Pending(Box::new(
+            // The acquire request carries the sections' page list, so the
+            // grant arrives with the releaser's diffs piggybacked — the
+            // merged lock-grant+data message.
+            ctrt::validate_w_sync_issue(p, treadmarks::SyncOp::Lock(*lock), sections),
+        )),
         BoundaryOp::NeighborSync { producers, consumers, sections } => {
             Issued::Pending(Box::new(ctrt::neighbor_sync_issue(p, producers, consumers, sections)))
         }
@@ -71,4 +77,13 @@ pub fn complete(p: &mut Process, issued: Issued) {
 pub fn run_boundary(p: &mut Process, op: &BoundaryOp) {
     let issued = issue(p, op);
     complete(p, issued);
+}
+
+/// Executes a step's phase exit: releases the guarding lock if the step's
+/// entry acquired one (flushing the guarded writes and granting queued
+/// requesters), else does nothing. Call after the phase's numeric body.
+pub fn release(p: &mut Process, step: &PlanStep) {
+    if let Some(lock) = step.release {
+        ctrt::release(p, lock);
+    }
 }

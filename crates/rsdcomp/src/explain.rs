@@ -19,7 +19,11 @@ pub fn explain(program: &Program, kernel: &CompiledKernel) -> String {
             .iter()
             .map(|a| format!("{}[{:?}]:{:?}", program.arrays[a.array].name, a.span, a.access))
             .collect();
-        out.push_str(&format!("  {id}: {} ({})\n", phase.name, accesses.join(", ")));
+        let guard = match phase.lock {
+            Some(lock) => format!(" guarded by lock {lock}"),
+            None => String::new(),
+        };
+        out.push_str(&format!("  {id}: {} ({}){guard}\n", phase.name, accesses.join(", ")));
     }
     out.push_str("boundaries:\n");
     for b in &kernel.boundaries {
@@ -57,6 +61,9 @@ pub fn explain(program: &Program, kernel: &CompiledKernel) -> String {
                         let dests: Vec<usize> = sends.iter().map(|p| p.dest).collect();
                         format!("{name}(to={dests:?},from={recv_from:?})->{}", phases[s.phase].name)
                     }
+                    BoundaryOp::Lock { lock, .. } => {
+                        format!("{name}({lock})->{}+release", phases[s.phase].name)
+                    }
                     _ => format!("{name}->{}", phases[s.phase].name),
                 }
             })
@@ -69,10 +76,11 @@ pub fn explain(program: &Program, kernel: &CompiledKernel) -> String {
     }
     let p2p: usize = (0..kernel.nprocs).map(|me| kernel.plan_for(me).messages_sent()).sum();
     out.push_str(&format!(
-        "totals: steps={} real-barriers={} eliminated-barriers={} p2p-messages={}\n",
+        "totals: steps={} real-barriers={} eliminated-barriers={} lock-acquires={} p2p-messages={}\n",
         kernel.plan_for(0).steps.len(),
         kernel.barriers(),
         kernel.barriers_eliminated(),
+        kernel.plan_for(0).lock_acquires(),
         p2p
     ));
     out

@@ -10,7 +10,7 @@
 //! boundary exactly.
 
 use pagedmem::{Addr, AddrRange};
-use treadmarks::{Shareable, SharedMatrix};
+use treadmarks::{LockId, Shareable, SharedMatrix};
 
 pub use ctrt::Access;
 
@@ -98,6 +98,20 @@ pub enum ColSpan {
     /// reduction). Dependences through an `All` span are global, so the
     /// analyzer never eliminates the enclosing boundary.
     All,
+    /// The pivot column of the enclosing loop's current iteration (column
+    /// `iter`), *for the processor that owns it* — empty on every other
+    /// processor. The write side of Gauss's per-iteration pivot broadcast:
+    /// exactly one processor's span is non-empty, so the producer set is an
+    /// affine function of the iteration symbol.
+    Pivot,
+    /// The pivot column (column `iter`) for every processor whose owned
+    /// block extends past it — the broadcast's consumer set, which shrinks
+    /// as the iteration crosses block boundaries. Empty once a processor
+    /// has no trailing columns left to update.
+    PivotReaders,
+    /// The owned block restricted to the trailing columns `iter+1..cols` —
+    /// the shrinking trailing submatrix a processor still updates.
+    OwnTail,
     /// A subscript the analysis cannot express as a regular section
     /// (non-affine, indirection). Forces a full barrier at every boundary
     /// the access participates in.
@@ -105,9 +119,24 @@ pub enum ColSpan {
 }
 
 impl ColSpan {
-    /// The concrete column range for processor `me`, or `None` for
-    /// [`ColSpan::Unknown`].
-    pub fn eval(self, cols: usize, nprocs: usize, me: usize) -> Option<std::ops::Range<usize>> {
+    /// Whether the span depends on the enclosing loop's iteration symbol —
+    /// its evaluation (and therefore the lowered section) differs per
+    /// occurrence of the phase, not just per processor.
+    pub fn iter_dependent(self) -> bool {
+        matches!(self, ColSpan::Pivot | ColSpan::PivotReaders | ColSpan::OwnTail)
+    }
+
+    /// The concrete column range for processor `me` at loop iteration
+    /// `iter` (straight-line phases evaluate at `iter == 0`; only the
+    /// [`iter_dependent`](Self::iter_dependent) spans read it), or `None`
+    /// for [`ColSpan::Unknown`].
+    pub fn eval(
+        self,
+        cols: usize,
+        nprocs: usize,
+        me: usize,
+        iter: usize,
+    ) -> Option<std::ops::Range<usize>> {
         match self {
             ColSpan::OwnBlock => Some(col_block(cols, nprocs, me)),
             ColSpan::UpdateBlock => {
@@ -117,7 +146,7 @@ impl ColSpan {
                 Some(lo..hi.max(lo))
             }
             ColSpan::UpdateHalo(h) => {
-                let update = ColSpan::UpdateBlock.eval(cols, nprocs, me).expect("affine");
+                let update = ColSpan::UpdateBlock.eval(cols, nprocs, me, iter).expect("affine");
                 if update.is_empty() {
                     return Some(update);
                 }
@@ -136,6 +165,27 @@ impl ColSpan {
                 Some(col_block(cols, nprocs, target as usize))
             }
             ColSpan::All => Some(0..cols),
+            ColSpan::Pivot => {
+                let own = col_block(cols, nprocs, me);
+                if iter < cols && own.contains(&iter) {
+                    Some(iter..iter + 1)
+                } else {
+                    Some(0..0)
+                }
+            }
+            ColSpan::PivotReaders => {
+                let own = col_block(cols, nprocs, me);
+                if iter < cols && own.end > iter + 1 {
+                    Some(iter..iter + 1)
+                } else {
+                    Some(0..0)
+                }
+            }
+            ColSpan::OwnTail => {
+                let own = col_block(cols, nprocs, me);
+                let lo = own.start.max(iter + 1).min(own.end);
+                Some(lo..own.end)
+            }
             ColSpan::Unknown => None,
         }
     }
@@ -181,12 +231,30 @@ pub struct Phase {
     pub name: &'static str,
     /// The phase's shared accesses.
     pub accesses: Vec<SectionAccess>,
+    /// The lock guarding the phase, if any. A guarded phase's entry is a
+    /// lock acquire (with the phase's sections validated on the grant — the
+    /// paper's merged lock-grant+data message) and its exit a release;
+    /// overlapping writes between processors inside phases guarded by the
+    /// *same* lock are ordered by the lock's acquire chain rather than
+    /// refused.
+    pub lock: Option<LockId>,
 }
 
 impl Phase {
-    /// A new phase.
+    /// A new (barrier-synchronized) phase.
     pub fn new(name: &'static str, accesses: Vec<SectionAccess>) -> Phase {
-        Phase { name, accesses }
+        Phase { name, accesses, lock: None }
+    }
+
+    /// A phase whose body runs inside `lock`'s critical section.
+    pub fn guarded(name: &'static str, accesses: Vec<SectionAccess>, lock: LockId) -> Phase {
+        Phase { name, accesses, lock: Some(lock) }
+    }
+
+    /// Whether any access's span depends on the loop iteration symbol (the
+    /// phase's lowered sections then differ per occurrence).
+    pub fn iter_dependent(&self) -> bool {
+        self.accesses.iter().any(|a| a.span.iter_dependent())
     }
 }
 
@@ -233,19 +301,27 @@ impl Program {
 
     /// The unrolled execution order, as phase ids.
     pub fn occurrences(&self) -> Vec<PhaseId> {
+        self.occurrences_with_iter().into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// The unrolled execution order as `(phase id, iteration)` pairs: the
+    /// iteration symbol of the enclosing `Repeat` (straight-line phases run
+    /// at iteration 0), which iteration-dependent [`ColSpan`]s are
+    /// evaluated against per occurrence.
+    pub fn occurrences_with_iter(&self) -> Vec<(PhaseId, usize)> {
         let mut out = Vec::new();
         let mut next_id = 0;
         for node in &self.nodes {
             match node {
                 Node::Phase(_) => {
-                    out.push(next_id);
+                    out.push((next_id, 0));
                     next_id += 1;
                 }
                 Node::Repeat { times, body } => {
                     let ids: Vec<PhaseId> = (next_id..next_id + body.len()).collect();
                     next_id += body.len();
-                    for _ in 0..*times {
-                        out.extend(ids.iter().copied());
+                    for iter in 0..*times {
+                        out.extend(ids.iter().map(|&id| (id, iter)));
                     }
                 }
             }
@@ -274,22 +350,43 @@ mod tests {
     #[test]
     fn spans_evaluate_against_the_block_distribution() {
         // 8 columns over 4 procs: blocks of 2.
-        assert_eq!(ColSpan::OwnBlock.eval(8, 4, 1), Some(2..4));
-        assert_eq!(ColSpan::UpdateBlock.eval(8, 4, 0), Some(1..2));
-        assert_eq!(ColSpan::UpdateBlock.eval(8, 4, 3), Some(6..7));
-        assert_eq!(ColSpan::UpdateHalo(1).eval(8, 4, 1), Some(1..5));
-        assert_eq!(ColSpan::UpdateHalo(1).eval(8, 4, 0), Some(0..3));
-        assert_eq!(ColSpan::All.eval(8, 4, 2), Some(0..8));
-        assert_eq!(ColSpan::Unknown.eval(8, 4, 2), None);
+        assert_eq!(ColSpan::OwnBlock.eval(8, 4, 1, 0), Some(2..4));
+        assert_eq!(ColSpan::UpdateBlock.eval(8, 4, 0, 0), Some(1..2));
+        assert_eq!(ColSpan::UpdateBlock.eval(8, 4, 3, 0), Some(6..7));
+        assert_eq!(ColSpan::UpdateHalo(1).eval(8, 4, 1, 0), Some(1..5));
+        assert_eq!(ColSpan::UpdateHalo(1).eval(8, 4, 0, 0), Some(0..3));
+        assert_eq!(ColSpan::All.eval(8, 4, 2, 0), Some(0..8));
+        assert_eq!(ColSpan::Unknown.eval(8, 4, 2, 0), None);
     }
 
     #[test]
     fn block_of_clamps_or_wraps() {
         let clamped = ColSpan::BlockOf { offset: -1, wrap: false };
-        assert_eq!(clamped.eval(8, 4, 0), Some(0..0), "no left neighbour without wrap");
-        assert_eq!(clamped.eval(8, 4, 2), Some(2..4));
+        assert_eq!(clamped.eval(8, 4, 0, 0), Some(0..0), "no left neighbour without wrap");
+        assert_eq!(clamped.eval(8, 4, 2, 0), Some(2..4));
         let ring = ColSpan::BlockOf { offset: 1, wrap: true };
-        assert_eq!(ring.eval(8, 4, 3), Some(0..2), "the ring wraps to processor 0");
+        assert_eq!(ring.eval(8, 4, 3, 0), Some(0..2), "the ring wraps to processor 0");
+    }
+
+    #[test]
+    fn pivot_spans_follow_the_iteration_symbol() {
+        // 8 columns over 4 procs: blocks of 2. At iteration 2 the pivot
+        // column is owned by processor 1; readers are everyone whose block
+        // extends past column 2.
+        assert_eq!(ColSpan::Pivot.eval(8, 4, 1, 2), Some(2..3));
+        assert_eq!(ColSpan::Pivot.eval(8, 4, 0, 2), Some(0..0));
+        assert_eq!(ColSpan::Pivot.eval(8, 4, 2, 2), Some(0..0));
+        assert_eq!(ColSpan::PivotReaders.eval(8, 4, 1, 2), Some(2..3), "owner still updates 3");
+        assert_eq!(ColSpan::PivotReaders.eval(8, 4, 3, 2), Some(2..3));
+        assert_eq!(ColSpan::PivotReaders.eval(8, 4, 0, 2), Some(0..0), "no trailing columns");
+        // At iteration 3 processor 1's block (2..4) has no trailing columns.
+        assert_eq!(ColSpan::PivotReaders.eval(8, 4, 1, 3), Some(0..0));
+        assert_eq!(ColSpan::OwnTail.eval(8, 4, 1, 2), Some(3..4));
+        assert_eq!(ColSpan::OwnTail.eval(8, 4, 1, 0), Some(2..4), "tail clamps to the block");
+        assert_eq!(ColSpan::OwnTail.eval(8, 4, 0, 5), Some(2..2), "exhausted block is empty");
+        // Past the last column everything is empty.
+        assert_eq!(ColSpan::Pivot.eval(8, 4, 3, 9), Some(0..0));
+        assert!(ColSpan::Pivot.iter_dependent() && !ColSpan::OwnBlock.iter_dependent());
     }
 
     #[test]
@@ -304,5 +401,10 @@ mod tests {
         };
         assert_eq!(program.phases().len(), 3);
         assert_eq!(program.occurrences(), vec![0, 1, 2, 1, 2, 1, 2]);
+        assert_eq!(
+            program.occurrences_with_iter(),
+            vec![(0, 0), (1, 0), (2, 0), (1, 1), (2, 1), (1, 2), (2, 2)],
+            "loop-body occurrences carry the iteration symbol"
+        );
     }
 }

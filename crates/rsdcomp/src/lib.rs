@@ -21,10 +21,26 @@
 //!    replaced by a ready/ack handshake whose acks are the paper's *merged
 //!    data+sync messages* (notices, timestamps and diffs on one polled
 //!    message), while the pages stay DSM-managed.
-//! 4. **`FullBarrier`** — everything else, including the analyzer's
+//! 4. **[`BoundaryClass::Lock`]** — the boundary enters a lock-guarded
+//!    phase and every remaining dependence is ordered by that lock's
+//!    acquire chain: the entry is an acquire whose grant validates the
+//!    phase's sections (the merged lock-grant+data message), the exit a
+//!    release — no barrier. Writes the chain cannot order refuse with
+//!    [`Refusal::OutsideAcquireChain`].
+//! 5. **`FullBarrier`** — everything else, including the analyzer's
 //!    refusals ([`Refusal`]): overlapping write sections, non-affine
 //!    subscripts, cross-block (e.g. reduction) dependences. Refusal is
 //!    always sound — the real barrier preserves every happens-before edge.
+//!    A barrier fed purely by lock-ordered writes (the lock+barrier idiom,
+//!    e.g. integer sort's histogram merge) is *not* a refusal: the holder
+//!    order is runtime-determined, so the barrier is the intended sync.
+//!
+//! Spans may reference the enclosing loop's iteration symbol
+//! ([`ColSpan::Pivot`], [`ColSpan::PivotReaders`], [`ColSpan::OwnTail`]):
+//! the analyzer and plan generator lower them per occurrence, so a
+//! per-iteration pivot broadcast classifies as `Push` with an
+//! iteration-dependent consumer set (Gaussian elimination's per-step
+//! barrier vanishes).
 //!
 //! A garbage-collection policy additionally retains one real barrier per
 //! loop iteration whenever the body flushes intervals at eliminated
@@ -54,3 +70,4 @@ pub use ir::{
 };
 pub use pagedmem::AddrRange;
 pub use plan::{compile, BoundaryOp, BoundarySummary, CompiledKernel, PlanStep, ProcPlan};
+pub use treadmarks::LockId;

@@ -9,7 +9,7 @@
 //! decision lives in the plan.
 
 use ctrt::{Push, RegularSection};
-use treadmarks::ProcId;
+use treadmarks::{LockId, ProcId};
 
 use crate::analysis::{
     classify_against_pending, BoundaryAnalysis, BoundaryClass, PendingWrites, Refusal,
@@ -45,6 +45,17 @@ pub enum BoundaryOp {
         /// The phase's sections.
         sections: Vec<RegularSection>,
     },
+    /// A lock-guarded phase entry: the acquire validates the phase's
+    /// sections on the grant (the runtime piggybacks the granter's diffs on
+    /// the grant message, so the merged lock-grant+data exchange costs no
+    /// extra protocol messages), and the matching [`PlanStep::release`]
+    /// flushes the guarded writes at the phase's exit.
+    Lock {
+        /// The guarding lock.
+        lock: LockId,
+        /// The phase's sections, validated on the grant.
+        sections: Vec<RegularSection>,
+    },
     /// A fully analyzable boundary: the dependence regions move as direct
     /// pushes and no synchronization or consistency machinery runs at all.
     Push {
@@ -68,6 +79,7 @@ impl BoundaryOp {
             BoundaryOp::Local { prepare: false, .. } => "warm",
             BoundaryOp::Barrier { .. } => "barrier",
             BoundaryOp::NeighborSync { .. } => "neighbor-sync",
+            BoundaryOp::Lock { .. } => "lock",
             BoundaryOp::Push { .. } => "push",
         }
     }
@@ -75,7 +87,10 @@ impl BoundaryOp {
     /// Point-to-point messages this processor sends executing the op.
     pub fn messages_sent(&self) -> usize {
         match self {
-            BoundaryOp::Local { .. } | BoundaryOp::Barrier { .. } => 0,
+            // Lock request/grant traffic is the runtime's own forwarding
+            // path, identical to a hand-written acquire — the plan adds no
+            // messages of its own on top of it.
+            BoundaryOp::Local { .. } | BoundaryOp::Barrier { .. } | BoundaryOp::Lock { .. } => 0,
             // One ready per producer, one ack per consumer.
             BoundaryOp::NeighborSync { producers, consumers, .. } => {
                 producers.len() + consumers.len()
@@ -91,8 +106,16 @@ impl BoundaryOp {
 pub struct PlanStep {
     /// The phase whose body follows the entry op.
     pub phase: PhaseId,
+    /// The loop iteration of this occurrence (0 outside loops) — the value
+    /// the iteration-dependent spans were lowered at; the phase body
+    /// receives it so the numeric kernel and the validated sections agree.
+    pub iter: usize,
     /// The synchronization/preparation op at the phase's entry.
     pub entry: BoundaryOp,
+    /// A lock to release (flushing the guarded writes and granting queued
+    /// requesters) after the phase's body — set exactly when `entry` is
+    /// [`BoundaryOp::Lock`].
+    pub release: Option<LockId>,
 }
 
 /// The complete compiled call sequence for one processor.
@@ -114,6 +137,11 @@ impl ProcPlan {
     /// Number of surviving real barriers.
     pub fn barriers(&self) -> usize {
         self.steps.iter().filter(|s| matches!(s.entry, BoundaryOp::Barrier { .. })).count()
+    }
+
+    /// Number of lock-guarded phase entries (acquire/release pairs).
+    pub fn lock_acquires(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s.entry, BoundaryOp::Lock { .. })).count()
     }
 
     /// Point-to-point messages this processor sends over the whole plan.
@@ -181,24 +209,25 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
         );
     }
     let phases = program.phases();
-    // Unroll with loop structure in hand: the occurrence order plus, per
-    // `Repeat`, its position/length/count (for the GC policy's loop-back
-    // detection).
-    let mut occurrences: Vec<PhaseId> = Vec::new();
+    // Unroll with loop structure in hand: the `(phase, iteration)`
+    // occurrence order plus, per `Repeat`, its position/length/count (for
+    // the GC policy's loop-back detection). The iteration symbol rides
+    // along so iteration-dependent spans lower per occurrence.
+    let mut occurrences: Vec<(PhaseId, usize)> = Vec::new();
     let mut repeats: Vec<(usize, usize, usize)> = Vec::new();
     let mut next_id = 0;
     for node in &program.nodes {
         match node {
             Node::Phase(_) => {
-                occurrences.push(next_id);
+                occurrences.push((next_id, 0));
                 next_id += 1;
             }
             Node::Repeat { times, body } => {
                 let ids: Vec<PhaseId> = (next_id..next_id + body.len()).collect();
                 next_id += body.len();
                 repeats.push((occurrences.len(), body.len(), *times));
-                for _ in 0..*times {
-                    occurrences.extend(ids.iter().copied());
+                for t in 0..*times {
+                    occurrences.extend(ids.iter().map(|&id| (id, t)));
                 }
             }
         }
@@ -213,13 +242,23 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
     // Clearing mirrors what each synchronization actually delivers: a full
     // barrier distributes every notice to everyone; an eliminated
     // barrier's ack carries all of one producer's notices to one named
-    // consumer; a push moves bytes, not notices, so it clears nothing.
+    // consumer; a lock acquire delivers the chain's notices, clearing the
+    // lock's own guarded writes pair-wise; a push moves bytes, not
+    // notices, so it clears nothing.
     let mut analyses: Vec<BoundaryAnalysis> =
         Vec::with_capacity(occurrences.len().saturating_sub(1));
     let mut pending = PendingWrites::new(nprocs);
     for w in occurrences.windows(2) {
-        pending.add_phase_writes(program, phases[w[0]]);
-        let analysis = classify_against_pending(program, nprocs, &pending, phases[w[1]]);
+        let (prev, prev_iter) = w[0];
+        let (next, next_iter) = w[1];
+        pending.add_phase_writes(program, phases[prev], prev_iter);
+        if let Some(lock) = phases[next].lock {
+            // Every processor entering the guarded phase acquires, so the
+            // chain's knowledge reaches all of them. If the boundary still
+            // refuses, the barrier's clear_all below subsumes this.
+            pending.clear_lock(lock);
+        }
+        let analysis = classify_against_pending(program, nprocs, &pending, phases[next], next_iter);
         match &analysis.class {
             BoundaryClass::FullBarrier { .. } => pending.clear_all(),
             BoundaryClass::EliminatedBarrier => {
@@ -227,7 +266,7 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
                     pending.clear_pair(pair.producer, pair.consumer);
                 }
             }
-            BoundaryClass::NoComm | BoundaryClass::Push => {}
+            BoundaryClass::NoComm | BoundaryClass::Push | BoundaryClass::Lock(_) => {}
         }
         analyses.push(analysis);
     }
@@ -243,7 +282,12 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
     // barrier otherwise. Demotion only ever increases what later boundaries
     // would have pending, so the walk's classifications stay conservative.
     let any_flush = analyses.iter().any(|a| {
-        matches!(a.class, BoundaryClass::EliminatedBarrier | BoundaryClass::FullBarrier { .. })
+        matches!(
+            a.class,
+            BoundaryClass::EliminatedBarrier
+                | BoundaryClass::FullBarrier { .. }
+                | BoundaryClass::Lock(_)
+        )
     });
     if any_flush {
         for analysis in &mut analyses {
@@ -277,12 +321,23 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
             let is_loopback = (offset + 1) % len == 0;
             if is_loopback
                 && flushes_since_barrier > 0
-                && !matches!(analysis.class, BoundaryClass::FullBarrier { .. })
+                // A lock boundary cannot be forced to a barrier: the
+                // acquire also provides the phase's mutual exclusion, which
+                // a barrier does not.
+                && !matches!(
+                    analysis.class,
+                    BoundaryClass::FullBarrier { .. } | BoundaryClass::Lock(_)
+                )
             {
                 analysis.class = BoundaryClass::FullBarrier { refusal: None, gc_forced: true };
             }
             match analysis.class {
-                BoundaryClass::EliminatedBarrier => flushes_since_barrier += 1,
+                // A lock release flushes the holder's interval just like an
+                // eliminated barrier's flush does, so it counts toward the
+                // GC horizon debt.
+                BoundaryClass::EliminatedBarrier | BoundaryClass::Lock(_) => {
+                    flushes_since_barrier += 1
+                }
                 BoundaryClass::FullBarrier { .. } => flushes_since_barrier = 0,
                 BoundaryClass::NoComm | BoundaryClass::Push => {}
             }
@@ -296,18 +351,17 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
     let mut boundaries: Vec<BoundarySummary> = Vec::new();
     for (b, w) in occurrences.windows(2).enumerate() {
         let class = analyses[b].class;
-        match boundaries.iter_mut().find(|s| s.prev == w[0] && s.next == w[1] && s.class == class) {
+        let (prev, next) = (w[0].0, w[1].0);
+        match boundaries.iter_mut().find(|s| s.prev == prev && s.next == next && s.class == class) {
             Some(summary) => summary.occurrences += 1,
-            None => {
-                boundaries.push(BoundarySummary { prev: w[0], next: w[1], class, occurrences: 1 })
-            }
+            None => boundaries.push(BoundarySummary { prev, next, class, occurrences: 1 }),
         }
     }
 
     // Per-processor plan generation.
     let plans = (0..nprocs)
         .map(|me| {
-            let sections_for = |phase: PhaseId| -> Vec<RegularSection> {
+            let sections_for = |phase: PhaseId, iter: usize| -> Vec<RegularSection> {
                 phases[phase]
                     .accesses
                     .iter()
@@ -316,7 +370,7 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
                         // A non-affine span has no lowerable section: the
                         // access is left to demand faulting under the full
                         // barrier its refusal preserved.
-                        let cols = access.span.eval(decl.cols, nprocs, me)?;
+                        let cols = access.span.eval(decl.cols, nprocs, me, iter)?;
                         if cols.is_empty() {
                             return None;
                         }
@@ -330,32 +384,65 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
             // Tracks whether a flush boundary has write-protected a phase's
             // sections since they were last prepared: `flush_epoch` counts
             // flush boundaries passed, `prepped_at[phase]` the epoch of the
-            // phase's last preparation.
+            // phase's last preparation. An iteration-dependent phase names
+            // different sections at every occurrence, so it re-prepares
+            // unconditionally.
             let mut flush_epoch = 0usize;
             let mut prepped_at: Vec<Option<usize>> = vec![None; phases.len()];
             let mut steps = Vec::with_capacity(occurrences.len());
-            let first = occurrences[0];
-            steps.push(PlanStep {
-                phase: first,
-                entry: BoundaryOp::Local { prepare: true, sections: sections_for(first) },
+            let (first, first_iter) = occurrences[0];
+            steps.push(match phases[first].lock {
+                Some(lock) => PlanStep {
+                    phase: first,
+                    iter: first_iter,
+                    entry: BoundaryOp::Lock { lock, sections: sections_for(first, first_iter) },
+                    release: Some(lock),
+                },
+                None => PlanStep {
+                    phase: first,
+                    iter: first_iter,
+                    entry: BoundaryOp::Local {
+                        prepare: true,
+                        sections: sections_for(first, first_iter),
+                    },
+                    release: None,
+                },
             });
             prepped_at[first] = Some(flush_epoch);
+            if phases[first].lock.is_some() {
+                flush_epoch += 1;
+            }
             for (b, w) in occurrences.windows(2).enumerate() {
-                let next = w[1];
+                let (next, iter) = w[1];
                 let analysis = &analyses[b];
-                let needs_prep = prepped_at[next].is_none_or(|at| flush_epoch > at);
+                let needs_prep = phases[next].iter_dependent()
+                    || prepped_at[next].is_none_or(|at| flush_epoch > at);
+                let mut release = None;
                 let entry = match analysis.class {
                     BoundaryClass::NoComm => {
                         if needs_prep {
                             prepped_at[next] = Some(flush_epoch);
                         }
-                        BoundaryOp::Local { prepare: needs_prep, sections: sections_for(next) }
+                        BoundaryOp::Local {
+                            prepare: needs_prep,
+                            sections: sections_for(next, iter),
+                        }
                     }
                     BoundaryClass::FullBarrier { .. } => {
                         // The barrier flushes, then prepares its sections.
                         flush_epoch += 1;
                         prepped_at[next] = Some(flush_epoch);
-                        BoundaryOp::Barrier { sections: sections_for(next) }
+                        BoundaryOp::Barrier { sections: sections_for(next, iter) }
+                    }
+                    BoundaryClass::Lock(lock) => {
+                        // The grant validates the sections at the current
+                        // epoch; the phase-exit release then flushes the
+                        // guarded writes, staling everything (its own
+                        // sections included) one epoch later.
+                        prepped_at[next] = Some(flush_epoch);
+                        flush_epoch += 1;
+                        release = Some(lock);
+                        BoundaryOp::Lock { lock, sections: sections_for(next, iter) }
                     }
                     BoundaryClass::EliminatedBarrier => {
                         flush_epoch += 1;
@@ -379,7 +466,7 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
                         BoundaryOp::NeighborSync {
                             producers,
                             consumers,
-                            sections: sections_for(next),
+                            sections: sections_for(next, iter),
                         }
                     }
                     BoundaryClass::Push => {
@@ -404,11 +491,11 @@ pub fn compile(program: &Program, nprocs: usize) -> CompiledKernel {
                             sends,
                             recv_from,
                             prepare: needs_prep,
-                            sections: sections_for(next),
+                            sections: sections_for(next, iter),
                         }
                     }
                 };
-                steps.push(PlanStep { phase: next, entry });
+                steps.push(PlanStep { phase: next, iter, entry, release });
             }
             let exit_sections = program
                 .arrays

@@ -35,6 +35,7 @@ fn refusal_names_match_the_analyzer_vocabulary() {
         RefusalClass::CrossBlockNoBarrier.expected_refusal(),
         Refusal::NonNeighbourDependence
     );
+    assert_eq!(RefusalClass::LockWithoutAcquire.expected_refusal(), Refusal::OutsideAcquireChain);
     for class in RefusalClass::ALL {
         assert!(!class.name().is_empty());
     }

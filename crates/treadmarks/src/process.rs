@@ -274,7 +274,21 @@ fn apply_notices_locked(
     }
     let mut recorded = 0u64;
     let mut invalidated = Vec::new();
-    for ((proc, interval), pages) in grouped {
+    for ((proc, interval), mut pages) in grouped {
+        // One batch can carry the same notice twice — at a barrier the
+        // master concatenates every child's arrival notices, and two
+        // children may both have learned a third processor's interval
+        // along the lock-grant chain. A duplicated page here would put two
+        // copies of `(proc, interval)` on the missing list; the exact-match
+        // claim in `install_records` would remove only one, and the
+        // surviving phantom entry would later demand-fetch the *old*
+        // interval's diff again — re-applying it on top of a newer
+        // interval from the same processor and rolling those bytes back.
+        // The dedup keeps first-occurrence order: arrival order decides
+        // the invalidation (and hence later fetch) sequence, and sorting
+        // here would shift every downstream virtual-time measurement.
+        let mut seen = HashSet::with_capacity(pages.len());
+        pages.retain(|page| seen.insert(*page));
         if !proto.notice_log.record(proc, interval, pages.clone()) {
             continue;
         }
@@ -1026,6 +1040,9 @@ impl Process {
             proto.notice_log.record(me, interval, flushed_pages);
             proto.vt.advance(me, interval);
             proto.current_interval += 1;
+            // The interval the acquire snapshot described is closed; writes
+            // of the next interval are ordered after everything known now.
+            proto.acquire_race_vt = None;
         }
         proto.write_all_pages.clear();
         drop(proto);
@@ -1224,13 +1241,16 @@ impl Process {
                 let before = missing.len();
                 missing.retain(|&(p, i)| p != record.proc || i > record.interval);
                 before - missing.len()
-            } else if let Some(pos) =
-                missing.iter().position(|&(p, i)| p == record.proc && i == record.interval)
-            {
-                missing.remove(pos);
-                1
             } else {
-                0
+                // Remove *every* copy, not just the first: a duplicated
+                // missing entry (however it arose) must not survive the
+                // application of its diff, or the leftover phantom would
+                // re-fetch this interval after a newer one from the same
+                // processor has been applied — and applying the older diff
+                // second rolls its bytes back.
+                let before = missing.len();
+                missing.retain(|&(p, i)| p != record.proc || i != record.interval);
+                before - missing.len()
             };
             if missing.is_empty() {
                 proto.page_missing.remove(&record.page);
@@ -1697,8 +1717,18 @@ impl Process {
         };
         // The open interval's knowledge before the acquire merges the
         // granter's timestamp: writes made so far in this interval are
-        // concurrent with everything this timestamp does not cover.
+        // concurrent with everything this timestamp does not cover. The
+        // snapshot rides the pending sync for the grant's own piggyback
+        // *and* is retained in the protocol state for the rest of the open
+        // interval, so a pre-acquire write still compares as concurrent
+        // when the racing diff only arrives on a later demand fetch.
         let race_vt = self.shared.race.as_ref().map(|_| request_vt.clone());
+        if let Some(snapshot) = &race_vt {
+            let mut proto = self.shared.proto.lock();
+            if proto.acquire_race_vt.is_none() {
+                proto.acquire_race_vt = Some(snapshot.clone());
+            }
+        }
         let request_vt = if pages.is_empty() { request_vt } else { self.sync_vt(&pages) };
         let msg = TmkMessage::LockAcquireRequest {
             lock,
@@ -2263,9 +2293,15 @@ fn detect_races_locked(
 ) {
     use racecheck::{overlap, RaceAccess, RaceReport};
     let me = proto.me;
-    // Creating timestamp the open interval would flush with right now.
+    // Creating timestamp attributed to the open interval's unflushed
+    // writes: the caller's pre-acquire snapshot when one rides the pending
+    // sync (the grant path), else the snapshot retained since the open
+    // interval's first acquire (a later demand fetch — the merged current
+    // timestamp would wrongly order pre-acquire writes after the granter's
+    // history), else the timestamp the interval would flush with now.
     let local_vt = {
-        let mut vt = race_vt.cloned().unwrap_or_else(|| proto.vt.clone());
+        let mut vt =
+            race_vt.or(proto.acquire_race_vt.as_ref()).cloned().unwrap_or_else(|| proto.vt.clone());
         vt.advance(me, proto.current_interval);
         vt
     };

@@ -132,6 +132,16 @@ pub(crate) struct ProtoState {
     pub lock_requests_processed: HashMap<(LockId, ProcId), u64>,
     /// Forwarded acquire requests waiting for this node to release the lock.
     pub pending_lock_requests: HashMap<LockId, Vec<PendingLockRequest>>,
+    /// Race detector only: the open interval's vector timestamp as of the
+    /// *first* lock acquire of the interval, snapshotted before the grant
+    /// merged the granter's timestamp. Unflushed local writes may predate
+    /// that acquire, so this — not the merged current timestamp — is the
+    /// creating timestamp the detector must attribute to them when a
+    /// remote diff lands on a later demand fetch (the grant piggyback path
+    /// carries its own per-acquire snapshot in `PendingSync::race_vt`).
+    /// Cleared when the interval flushes; `None` when the detector is off
+    /// or no acquire happened in the open interval.
+    pub acquire_race_vt: Option<Vt>,
 }
 
 impl ProtoState {
@@ -154,6 +164,7 @@ impl ProtoState {
             lock_requests_sent: HashMap::new(),
             lock_requests_processed: HashMap::new(),
             pending_lock_requests: HashMap::new(),
+            acquire_race_vt: None,
         }
     }
 

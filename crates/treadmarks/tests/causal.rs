@@ -118,3 +118,51 @@ fn split_phase_lock_sync_applies_the_batch_in_causal_order() {
     });
     assert_eq!(run.results, vec![9, 9, 9]);
 }
+
+/// Regression: one barrier batch can carry the same write notice twice —
+/// the master concatenates every child's arrival notices, and two children
+/// may both have learned a third processor's interval along the lock-grant
+/// chain. The duplicate used to put two copies of `(proc, interval)` on
+/// the page's missing list; applying the real diff claimed only one, and
+/// the surviving phantom entry demand-fetched the *old* interval again
+/// after a newer interval of the same processor had been applied — rolling
+/// those words back and losing an increment (observed as integer sort's
+/// histogram counting one short on the barrier master at three or more
+/// processors).
+///
+/// The shape: every processor read-modify-writes the same words under one
+/// lock (so consecutive intervals of each processor modify the same
+/// words and notices propagate along the grant chain), then reads them
+/// through a merged barrier fetch. Every word must count all processors
+/// every iteration, on every processor, whatever the acquire order.
+#[test]
+fn duplicate_barrier_notices_must_not_roll_back_newer_diffs() {
+    const WORDS: usize = 4;
+    const ITERS: u64 = 3;
+    let run = Dsm::run(free_config(3), |p| {
+        let a = p.alloc_array::<u64>(PAGE_SIZE / 8);
+        let n = p.nprocs() as u64;
+        let mut ok = true;
+        for t in 0..ITERS {
+            p.lock_acquire(LOCK);
+            for i in 0..WORDS {
+                let v = p.get(&a, i);
+                p.set(&a, i, v + 1);
+            }
+            p.lock_release(LOCK);
+            p.fetch_diffs_w_sync(SyncOp::Barrier, &[a.full_range()]);
+            for i in 0..WORDS {
+                ok &= p.get(&a, i) == n * (t + 1);
+            }
+            // Anti-dependence barrier: nobody starts the next iteration's
+            // increments until every processor has taken its reads.
+            p.barrier();
+        }
+        ok
+    });
+    assert_eq!(
+        run.results,
+        vec![true; 3],
+        "a duplicated notice must not lose an increment to a stale re-fetch"
+    );
+}

@@ -133,6 +133,43 @@ fn unsynchronized_write_before_an_acquire_is_reported_at_the_grant() {
 }
 
 #[test]
+fn unsynchronized_write_before_an_acquire_is_reported_on_a_later_demand_fetch() {
+    // Same race as above, but the acquire is a *plain* `lock_acquire`
+    // carrying no sync pages: the grant piggybacks nothing, and the
+    // releaser's diff arrives only when the acquirer faults on the page
+    // afterwards. By then the grant has merged the granter's timestamp, so
+    // the open interval's *current* timestamp covers the releaser's
+    // interval — only the retained pre-acquire snapshot keeps the
+    // unflushed pre-acquire write visible as concurrent on the demand
+    // fetch.
+    const LOCK: LockId = 0;
+    let run = Dsm::run(detecting(2), |p| {
+        let a = p.alloc_array::<u64>(ELEMS);
+        if p.proc_id() == 0 {
+            p.lock_acquire(LOCK);
+            p.set(&a, 1, 41);
+            p.lock_release(LOCK);
+        } else {
+            p.set(&a, 1, 7); // unsynchronized: the race
+                             // Order the acquires in virtual time so processor 0's
+                             // critical section deterministically precedes this one.
+            p.compute(sp2model::VirtualTime::from_millis(1));
+            p.lock_acquire(LOCK); // no sync pages: nothing piggybacks
+            let _ = p.get(&a, 1); // demand fetch pulls the releaser's diff
+            p.lock_release(LOCK);
+        }
+        p.barrier();
+        first_page(&a)
+    });
+    assert_eq!(run.races.len(), 1, "reports: {:?}", run.races);
+    let report = &run.races[0];
+    assert_eq!(report.page, run.results[0]);
+    assert_eq!((report.first.proc, report.second.proc), (0, 1));
+    assert_eq!(report.sync, SyncKind::Fetch, "the race surfaces on the demand fetch");
+    assert_eq!(report.detected_by, 1, "the acquirer observes the race");
+}
+
+#[test]
 #[should_panic(expected = "data race detected")]
 fn fail_fast_mode_panics_on_the_first_report() {
     let config =
