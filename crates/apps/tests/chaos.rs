@@ -210,6 +210,39 @@ fn gauss_is_chaos_transparent_at_8_procs() {
 }
 
 #[test]
+fn jacobi_is_chaos_transparent_at_64_procs_on_a_shared_reactor_pool() {
+    // At 64 simulated processors the default reactor pool multiplexes many
+    // nodes per poll loop (on a small host, all of them on one), so this
+    // schedule shakes the *polled* request path — retransmission timeouts,
+    // dedup windows and resequencing must all hold when the consumer is a
+    // sweeping reactor rather than 64 dedicated blocking server threads.
+    // One seed and the two ends of the variant spectrum keep the wide runs
+    // affordable; the full seed matrix runs at the smaller sizes above.
+    let cfg = GridConfig { rows: 16, cols: 130, iters: 2 };
+    let mut injected = 0u64;
+    for variant in [Variant::TreadMarks, Variant::Compiled] {
+        let clean = run_app(jacobi, cfg, 64, variant, None);
+        assert!(clean.races.is_empty(), "jacobi/{} at 64 procs races fault-free", variant.name());
+        let chaotic = run_app(jacobi, cfg, 64, variant, Some(NetFaults::chaos(SEEDS[0])));
+        assert_eq!(
+            bits(&clean),
+            bits(&chaotic),
+            "jacobi/{} at 64 procs: checksums must be bit-identical to the \
+             fault-free run",
+            variant.name()
+        );
+        assert!(
+            chaotic.races.is_empty(),
+            "jacobi/{} at 64 procs: faults must not surface as data races",
+            variant.name()
+        );
+        let t = chaotic.stats.total();
+        injected += t.net_retransmits + t.net_dups + t.net_reorders + t.net_delays;
+    }
+    assert!(injected > 0, "the schedule must actually inject faults at 64 procs");
+}
+
+#[test]
 fn chaos_runs_are_reproducible_per_seed() {
     // Same seed, same program: not only the checksums but the modelled
     // times and deterministic fault counters must be identical run-to-run

@@ -253,3 +253,64 @@ fn uneven_column_blocks_still_agree() {
     assert_variants_agree(jacobi, cfg, 3);
     assert_variants_agree(sor, cfg, 3);
 }
+
+/// 130 columns: the smallest width every kernel accepts at 64 processors
+/// (`cols >= 2 * nprocs`) plus a remainder of two, so the blocks are
+/// uneven at both wide sizes — 5/5/…/4 at 32 processors, 3/3/2/… at 64.
+const WIDE_CFG: GridConfig = GridConfig { rows: 16, cols: 130, iters: 2 };
+
+/// Partition-independent (see `dsm_apps::mix64`): one constant per integer
+/// kernel covers every variant at both wide sizes.
+const WIDE_IS_CHECKSUM: u64 = 0x6eaa_3c49_80ac_702d;
+/// Same contract as [`WIDE_IS_CHECKSUM`].
+const WIDE_GAUSS_CHECKSUM: u64 = 0xa084_3ac3_d7bb_a2cf;
+
+/// The float kernels' per-processor sums depend on the partition, so their
+/// XOR-combined pins are per cluster size: `(nprocs, jacobi, sor)`.
+const WIDE_F64_CHECKSUMS: [(usize, u64, u64); 2] = [
+    (32, 0x0005_c980_0000_000e, 0x00fa_70f5_a924_924e),
+    (64, 0x0007_1f6d_b6db_6db3, 0x0003_723f_4000_000d),
+];
+
+#[test]
+fn the_wide_matrix_pins_checksums_for_every_kernel_at_32_and_64_procs() {
+    // The reactor-era acceptance row: at 32 and 64 simulated processors the
+    // default pool multiplexes many nodes per reactor (on a small host, all
+    // of them on one), and every kernel and variant must still land on the
+    // constants pinned here — the same numbers a one-thread-per-node run
+    // produces.
+    for (nprocs, jacobi_pin, sor_pin) in WIDE_F64_CHECKSUMS {
+        for variant in Variant::ALL {
+            let r = run_app_u64(is, WIDE_CFG, nprocs, variant);
+            assert_eq!(
+                combined(&r),
+                WIDE_IS_CHECKSUM,
+                "is/{}@{nprocs} must reproduce the pinned checksum",
+                variant.name()
+            );
+            let r = run_app_u64(gauss, WIDE_CFG, nprocs, variant);
+            assert_eq!(
+                combined(&r),
+                WIDE_GAUSS_CHECKSUM,
+                "gauss/{}@{nprocs} must reproduce the pinned checksum",
+                variant.name()
+            );
+            let r = run_app(jacobi, WIDE_CFG, nprocs, variant);
+            let bits = r.results.iter().fold(0u64, |acc, &x| acc ^ x.to_bits());
+            assert_eq!(
+                bits,
+                jacobi_pin,
+                "jacobi/{}@{nprocs} must reproduce the pinned checksum",
+                variant.name()
+            );
+            let r = run_app(sor, WIDE_CFG, nprocs, variant);
+            let bits = r.results.iter().fold(0u64, |acc, &x| acc ^ x.to_bits());
+            assert_eq!(
+                bits,
+                sor_pin,
+                "sor/{}@{nprocs} must reproduce the pinned checksum",
+                variant.name()
+            );
+        }
+    }
+}

@@ -22,29 +22,48 @@
 //!   table and write `BENCH_PR7.json` (path configurable with `--out`).
 //!   The records themselves are informational and never gated; only
 //!   checksum transparency and race freedom are enforced.
+//! * `cargo run -p dsm-bench -- --scale` — run the wide-cluster matrix
+//!   (Validate and Compiled at 32/64/128 processors on 256-column grids),
+//!   print the table plus a reactor-pool summary, and write
+//!   `BENCH_PR9.json` (path configurable with `--out`); with `--check`,
+//!   compare against the checked-in `BENCH_PR9.json` instead (path
+//!   configurable with `--baseline`), gating the 64-processor
+//!   barrier-kernel records.
+//! * `--reactors N` — pin the protocol-reactor pool to `N` poll loops for
+//!   the suite and scale runs (default: one per host core). Records are
+//!   bit-identical for any value; the flag exists to exercise a specific
+//!   multiplexing degree and to compare host-side pool behaviour.
 
 use dsm_bench::{
-    chaos_suite, check_chaos, check_regression, explain_app, race_suite, render_chaos_json,
-    render_json, render_race_json, suite,
+    chaos_suite, check_chaos, check_regression, check_scale_regression, explain_app,
+    probe_reactor_pool, race_suite, render_chaos_json, render_json, render_race_json,
+    render_scale_json, scale_suite, suite, SCALE_NPROCS,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check = false;
+    let mut scale = false;
     let mut out: Option<String> = None;
-    let mut baseline = String::from("BENCH_PR8.json");
+    let mut baseline: Option<String> = None;
     let mut explain: Vec<String> = Vec::new();
     let mut race: Option<String> = None;
     let mut chaos: Option<String> = None;
+    let mut reactors: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => check = true,
+            "--scale" => scale = true,
             "--out" => out = Some(it.next().expect("--out needs a path").clone()),
-            "--baseline" => baseline = it.next().expect("--baseline needs a path").clone(),
+            "--baseline" => baseline = Some(it.next().expect("--baseline needs a path").clone()),
             "--explain" => explain.push(it.next().expect("--explain needs an app name").clone()),
             "--race" => race = Some(it.next().expect("--race needs an app name").clone()),
             "--chaos" => chaos = Some(it.next().expect("--chaos needs an app name").clone()),
+            "--reactors" => {
+                let n = it.next().expect("--reactors needs a pool size");
+                reactors = Some(n.parse().expect("--reactors needs a positive integer"));
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -133,6 +152,93 @@ fn main() {
         eprintln!("wrote {out} (informational, not gated)");
         return;
     }
+
+    if scale {
+        let pool = |nprocs: usize| {
+            reactors.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+                    .min(nprocs)
+            })
+        };
+        eprintln!(
+            "running the dsm-bench scale matrix (SP/2 cost model, nprocs {SCALE_NPROCS:?})..."
+        );
+        let records = scale_suite(reactors);
+        println!(
+            "{:8} {:14} {:>4} {:>4} {:>12} {:>8} {:>10} {:>10}",
+            "app", "variant", "np", "pool", "time_us", "msgs", "bytes", "segv"
+        );
+        for r in &records {
+            println!(
+                "{:8} {:14} {:>4} {:>4} {:>12} {:>8} {:>10} {:>10}",
+                r.app,
+                r.variant,
+                r.nprocs,
+                pool(r.nprocs),
+                r.time_ns / 1_000,
+                r.messages,
+                r.bytes,
+                r.page_faults
+            );
+        }
+        // The reactor-pool summary: host-side counters (poll sweeps,
+        // doorbell wakeups, served-per-wakeup batching, peak backlog) from
+        // one representative wide run per cluster size. Informational —
+        // scheduling-dependent, never part of the JSON records.
+        eprintln!("reactor pool (host-side, informational):");
+        eprintln!(
+            "  {:>4} {:>5} {:>10} {:>10} {:>10} {:>12} {:>10}",
+            "np", "pool", "polls", "wakeups", "served", "srv/wakeup", "max_depth"
+        );
+        for &nprocs in &SCALE_NPROCS {
+            let snaps = probe_reactor_pool(nprocs, reactors);
+            let sum =
+                |f: fn(&sp2model::ReactorSnapshot) -> u64| -> u64 { snaps.iter().map(f).sum() };
+            let (polls, wakeups, served) =
+                (sum(|s| s.polls), sum(|s| s.wakeups), sum(|s| s.served));
+            let depth = snaps.iter().map(|s| s.max_queue_depth).max().unwrap_or(0);
+            let per_wakeup = if wakeups == 0 { 0.0 } else { served as f64 / wakeups as f64 };
+            eprintln!(
+                "  {:>4} {:>5} {:>10} {:>10} {:>10} {:>12.2} {:>10}",
+                nprocs,
+                snaps.len(),
+                polls,
+                wakeups,
+                served,
+                per_wakeup,
+                depth
+            );
+        }
+        if check {
+            let baseline = baseline.unwrap_or_else(|| String::from("BENCH_PR9.json"));
+            let baseline_json = match std::fs::read_to_string(&baseline) {
+                Ok(json) => json,
+                Err(err) => {
+                    eprintln!("cannot read baseline {baseline}: {err}");
+                    std::process::exit(1);
+                }
+            };
+            match check_scale_regression(&records, &baseline_json) {
+                Ok(report) => {
+                    for line in report {
+                        eprintln!("  {line}");
+                    }
+                    eprintln!("scale regression gate passed");
+                }
+                Err(err) => {
+                    eprintln!("scale regression gate FAILED:\n{err}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            let out = out.unwrap_or_else(|| String::from("BENCH_PR9.json"));
+            std::fs::write(&out, render_scale_json(&records)).expect("write scale output");
+            eprintln!("wrote {out}");
+        }
+        return;
+    }
     let out = out.unwrap_or_else(|| String::from("BENCH_PR8.json"));
 
     if !explain.is_empty() {
@@ -148,9 +254,31 @@ fn main() {
                 }
             }
         }
+        // The reactor-pool plan: how the runtime would serve each matrix
+        // point on this host (`--reactors` pins the pool). Derived, not
+        // measured — the dump stays deterministic for a given host/flags.
+        let cores =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        println!("=== reactor plan ===");
+        for nprocs in [2usize, 4, 8, 16, 32, 64, 128] {
+            let pool = reactors.unwrap_or(cores).min(nprocs);
+            println!(
+                "nprocs {nprocs:>4}: {pool} reactor{} ({:.1} nodes/reactor), \
+                 {} host threads (seed design: {})",
+                if pool == 1 { "" } else { "s" },
+                nprocs as f64 / pool as f64,
+                nprocs + pool + 1,
+                2 * nprocs + 1
+            );
+        }
         return;
     }
 
+    if reactors.is_some() {
+        eprintln!(
+            "note: --reactors applies to --scale runs; the standard suite uses the default pool"
+        );
+    }
     eprintln!("running the dsm-bench suite (SP/2 cost model)...");
     let records = suite();
     println!(
@@ -183,6 +311,7 @@ fn main() {
     }
 
     if check {
+        let baseline = baseline.unwrap_or_else(|| String::from("BENCH_PR8.json"));
         let baseline_json = match std::fs::read_to_string(&baseline) {
             Ok(json) => json,
             Err(err) => {

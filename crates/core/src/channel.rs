@@ -190,6 +190,21 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Number of messages currently queued — the readiness probe a polling
+    /// consumer (a protocol reactor multiplexing many channels) uses to
+    /// size its drain without popping. Racy by nature: a concurrent send
+    /// or pop can change the answer immediately after it returns, so use
+    /// it for scheduling and statistics, never for correctness.
+    pub fn len(&self) -> usize {
+        self.shared.lock_queue().len()
+    }
+
+    /// Whether the channel is currently empty. Same caveat as [`len`](Self::len):
+    /// the answer is advisory under concurrency.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Pops a message if one is queued.
     ///
     /// # Errors
@@ -237,6 +252,19 @@ mod tests {
         for i in 0..100 {
             assert_eq!(rx.recv(), Ok(i));
         }
+    }
+
+    #[test]
+    fn len_tracks_queued_messages() {
+        let (tx, rx) = unbounded();
+        assert!(rx.is_empty());
+        for i in 0..5 {
+            tx.send(i);
+        }
+        assert_eq!(rx.len(), 5);
+        assert!(!rx.is_empty());
+        assert_eq!(rx.try_recv(), Ok(0));
+        assert_eq!(rx.len(), 4);
     }
 
     #[test]

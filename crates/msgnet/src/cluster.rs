@@ -34,13 +34,14 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use dsm_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use dsm_core::sync::Mutex;
 use sp2model::{CostModel, SharedStats, VirtualTime};
 
+use crate::doorbell::Doorbell;
 use crate::envelope::RELIA_HEADER_BYTES;
 use crate::fault::{DeliveryExpired, MsgKey, NetFaults};
 use crate::{Envelope, NetError, NodeId, ReliaHeader};
@@ -63,11 +64,20 @@ pub enum Port {
 struct Mailbox<M> {
     request_tx: Sender<Envelope<M>>,
     reply_tx: Sender<Envelope<M>>,
+    /// The wakeup bell of whatever polls this node's request port, shared
+    /// by every sender's clone of the mailbox. Attached once (before
+    /// traffic starts) by [`Endpoint::attach_request_doorbell`]; absent for
+    /// nodes served by a blocking receiver.
+    request_bell: Arc<OnceLock<Arc<Doorbell>>>,
 }
 
 impl<M> Clone for Mailbox<M> {
     fn clone(&self) -> Self {
-        Mailbox { request_tx: self.request_tx.clone(), reply_tx: self.reply_tx.clone() }
+        Mailbox {
+            request_tx: self.request_tx.clone(),
+            reply_tx: self.reply_tx.clone(),
+            request_bell: Arc::clone(&self.request_bell),
+        }
     }
 }
 
@@ -170,7 +180,11 @@ impl<M: Send> Cluster<M> {
         for _ in 0..nodes {
             let (request_tx, request_rx) = unbounded();
             let (reply_tx, reply_rx) = unbounded();
-            mailboxes.push(Mailbox { request_tx, reply_tx });
+            mailboxes.push(Mailbox {
+                request_tx,
+                reply_tx,
+                request_bell: Arc::new(OnceLock::new()),
+            });
             receivers.push((request_rx, reply_rx));
         }
         let endpoints = receivers
@@ -325,6 +339,48 @@ impl<M: Send> Endpoint<M> {
         }
     }
 
+    /// Registers `bell` as the wakeup doorbell of this node's request port:
+    /// every subsequent send addressed to it (from any endpoint, including
+    /// self-sends and control messages) rings the bell after enqueueing.
+    ///
+    /// Call before any request traffic starts — a polling consumer that
+    /// attaches late could already have missed a wakeup. Several nodes may
+    /// share one bell (a reactor multiplexing them polls them all on any
+    /// ring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bell is already attached to this node.
+    pub fn attach_request_doorbell(&self, bell: Arc<Doorbell>) {
+        self.mailboxes[self.id.index()]
+            .request_bell
+            .set(bell)
+            .expect("a request doorbell is already attached to this node");
+    }
+
+    /// Rings `dst`'s request doorbell, if one is attached. Called after
+    /// every enqueue on a request port so a polling consumer parked on the
+    /// bell observes the message.
+    fn ring_request_bell(&self, dst: NodeId) {
+        if let Some(bell) = self.mailboxes[dst.index()].request_bell.get() {
+            bell.ring();
+        }
+    }
+
+    /// Number of messages currently pending on this node's `port`: the raw
+    /// channel backlog plus, under fault injection, whatever the
+    /// reliable-delivery stages hold (in-order-ready and deferred
+    /// laggards). Advisory — used by reactors for queue-depth statistics,
+    /// never for correctness.
+    pub fn backlog(&self, port: Port) -> usize {
+        let mut depth = self.rx_chan(port).len();
+        if let Some(relia) = &self.relia {
+            let st = relia.rx_state(port).lock();
+            depth += st.ready.len() + st.deferred.len();
+        }
+        depth
+    }
+
     /// Sends `payload` of modelled size `payload_bytes` to `dst`, issued at
     /// local virtual time `sent_at`. Returns the virtual time at which the
     /// message arrives.
@@ -390,6 +446,9 @@ impl<M: Send> Endpoint<M> {
         // teardown only happens in tests, where the message is simply never
         // consumed.
         self.mailbox_tx(dst, port).send(envelope);
+        if port == Port::Request {
+            self.ring_request_bell(dst);
+        }
         arrives_at
     }
 
@@ -484,6 +543,10 @@ impl<M: Send> Endpoint<M> {
             chan.send((relia.clone_env)(&envelope));
         }
         chan.send(envelope);
+        // One ring covers the duplicate too: the consumer drains to empty.
+        if port == Port::Request {
+            self.ring_request_bell(dst);
+        }
         arrives_at
     }
 
@@ -509,6 +572,9 @@ impl<M: Send> Endpoint<M> {
             payload,
         };
         self.mailbox_tx(dst, port).send(envelope);
+        if port == Port::Request {
+            self.ring_request_bell(dst);
+        }
     }
 
     /// Sends the same payload to every other node (the payload must be
@@ -810,6 +876,65 @@ mod tests {
             }
             assert_eq!(sum, 4950);
         });
+    }
+
+    #[test]
+    fn request_sends_ring_an_attached_doorbell() {
+        let (a, b) = two_nodes();
+        let bell = Arc::new(Doorbell::new());
+        b.attach_request_doorbell(Arc::clone(&bell));
+        let seen = bell.epoch();
+        a.send(b.id(), Port::Request, 1, 8, VirtualTime::ZERO, true);
+        assert_eq!(bell.epoch(), seen + 1, "a request send must ring the bell");
+        a.send(b.id(), Port::Reply, 2, 8, VirtualTime::ZERO, true);
+        assert_eq!(bell.epoch(), seen + 1, "reply traffic must not ring the request bell");
+        assert_eq!(b.backlog(Port::Request), 1);
+        assert_eq!(b.backlog(Port::Reply), 1);
+        // Control messages and self-sends ring too: the polled consumer
+        // must wake for the harness's shutdown poison like any request.
+        b.send_control(b.id(), Port::Request, 3);
+        assert_eq!(bell.epoch(), seen + 2);
+        assert_eq!(b.backlog(Port::Request), 2);
+        assert_eq!(b.try_recv(Port::Request).unwrap().payload, 1);
+        assert_eq!(b.backlog(Port::Request), 1);
+    }
+
+    #[test]
+    fn faulty_request_sends_ring_the_doorbell_and_backlog_spans_the_stages() {
+        // Under fault injection the consumer polls through the
+        // reliable-delivery stages; the bell must still ring per logical
+        // send and the backlog must count parked laggards and ready
+        // messages, not just the raw channel.
+        let rates = LinkRates {
+            drop_permille: 0,
+            dup_permille: 1000,
+            delay_permille: 0,
+            reorder_permille: 1000,
+        };
+        let faults =
+            NetFaults { plan: FaultPlan::uniform(6, rates), retry: RetryPolicy::default() };
+        let (a, b) = faulty_pair(faults);
+        let bell = Arc::new(Doorbell::new());
+        b.attach_request_doorbell(Arc::clone(&bell));
+        let seen = bell.epoch();
+        for i in 0..10u32 {
+            a.send(b.id(), Port::Request, i, 8, VirtualTime::from_micros(u64::from(i)), true);
+        }
+        assert_eq!(bell.epoch(), seen + 10, "one ring per logical send");
+        assert!(b.backlog(Port::Request) >= 10, "duplicates may add to the backlog");
+        for i in 0..10 {
+            assert_eq!(b.try_recv(Port::Request).unwrap().payload, i, "FIFO under polling");
+        }
+        assert!(b.try_recv(Port::Request).is_none());
+        assert_eq!(b.backlog(Port::Request), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn attaching_two_doorbells_panics() {
+        let (a, _b) = two_nodes();
+        a.attach_request_doorbell(Arc::new(Doorbell::new()));
+        a.attach_request_doorbell(Arc::new(Doorbell::new()));
     }
 
     #[test]

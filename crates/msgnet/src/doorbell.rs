@@ -1,0 +1,124 @@
+//! Wakeup doorbells for polling consumers.
+//!
+//! A protocol reactor multiplexes many nodes' request ports in one poll
+//! loop: it drains every port with `try_recv`, and when every queue is dry
+//! it must park without missing a message that arrives between the last
+//! probe and the sleep. The doorbell closes that race with an epoch
+//! counter: the reactor reads the epoch *before* polling, and parks with
+//! [`Doorbell::wait_changed`], which returns immediately if any sender has
+//! rung the bell since that read.
+//!
+//! One bell serves a whole reactor: every node assigned to the reactor
+//! attaches the same bell to its request port, so any request to any of
+//! its nodes wakes it. Senders ring *after* enqueueing, which together
+//! with the pre-poll epoch read gives the standard no-lost-wakeup
+//! argument: either the reactor's poll sees the message, or the ring
+//! happened after the epoch read and `wait_changed` does not block.
+
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// An epoch-counting wakeup bell shared by message senders and one polling
+/// consumer. See the module documentation for the no-lost-wakeup protocol.
+pub struct Doorbell {
+    epoch: Mutex<u64>,
+    ring: Condvar,
+}
+
+impl Default for Doorbell {
+    fn default() -> Self {
+        Doorbell::new()
+    }
+}
+
+impl Doorbell {
+    /// Creates a bell at epoch zero.
+    pub fn new() -> Doorbell {
+        Doorbell { epoch: Mutex::new(0), ring: Condvar::new() }
+    }
+
+    fn lock_epoch(&self) -> std::sync::MutexGuard<'_, u64> {
+        // The epoch is a single counter; poisoning cannot corrupt it.
+        self.epoch.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The current epoch. Read this *before* polling the queues the bell
+    /// covers, and hand it to [`wait_changed`](Self::wait_changed).
+    pub fn epoch(&self) -> u64 {
+        *self.lock_epoch()
+    }
+
+    /// Advances the epoch and wakes the parked consumer. Senders call this
+    /// after enqueueing a message on a covered queue.
+    pub fn ring(&self) {
+        let mut epoch = self.lock_epoch();
+        *epoch = epoch.wrapping_add(1);
+        self.ring.notify_all();
+    }
+
+    /// Parks until the epoch differs from `seen` or `timeout` (real time)
+    /// elapses, returning the epoch at wakeup. A ring between the caller's
+    /// [`epoch`](Self::epoch) read and this call is detected immediately —
+    /// the caller never sleeps through it. The timeout is the watchdog
+    /// backstop for an idle reactor; timing out is not an error.
+    pub fn wait_changed(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut epoch = self.lock_epoch();
+        while *epoch == seen {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return *epoch;
+            };
+            epoch = self.ring.wait_timeout(epoch, remaining).unwrap_or_else(|e| e.into_inner()).0;
+        }
+        *epoch
+    }
+}
+
+impl fmt::Debug for Doorbell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Doorbell").field("epoch", &self.epoch()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_advances_the_epoch_and_wakes_a_waiter() {
+        let bell = Arc::new(Doorbell::new());
+        let seen = bell.epoch();
+        let waiter = Arc::clone(&bell);
+        let handle = std::thread::spawn(move || waiter.wait_changed(seen, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(10));
+        bell.ring();
+        assert_eq!(handle.join().unwrap(), seen + 1);
+    }
+
+    #[test]
+    fn a_ring_before_the_wait_returns_immediately() {
+        // The no-lost-wakeup property: a message enqueued (and rung) after
+        // the epoch read but before the park must not be slept through.
+        let bell = Doorbell::new();
+        let seen = bell.epoch();
+        bell.ring();
+        let start = std::time::Instant::now();
+        let now = bell.wait_changed(seen, Duration::from_secs(10));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(now, seen + 1);
+    }
+
+    #[test]
+    fn an_unchanged_epoch_times_out() {
+        let bell = Doorbell::new();
+        let seen = bell.epoch();
+        let start = std::time::Instant::now();
+        let now = bell.wait_changed(seen, Duration::from_millis(20));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(now, seen);
+    }
+}

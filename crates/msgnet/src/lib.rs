@@ -9,9 +9,10 @@
 //! Two layers are provided:
 //!
 //! * the raw [`Cluster`] / [`Endpoint`] layer used by the DSM runtime — typed
-//!   payloads, a *request* port serviced by each node's protocol-server
-//!   thread (the paper's interrupt handler) and a *reply* port consumed by
-//!   the blocked compute thread;
+//!   payloads, a *request* port polled by the runtime's protocol reactors
+//!   (the paper's interrupt handler), with an attachable [`Doorbell`] so a
+//!   reactor multiplexing many nodes parks without missing an enqueue, and
+//!   a *reply* port consumed by the blocked compute thread;
 //! * the [`mp`] module — a small PVM/MPL-like explicit message-passing API
 //!   (send/recv/broadcast/barrier with virtual-time accounting) used by the
 //!   hand-coded (PVMe) and compiler-generated (XHPF) baseline versions of the
@@ -43,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cluster;
+mod doorbell;
 mod envelope;
 mod error;
 mod fault;
@@ -50,6 +52,7 @@ pub mod mp;
 mod node;
 
 pub use cluster::{Cluster, Endpoint, Port};
+pub use doorbell::Doorbell;
 pub use envelope::{Envelope, ReliaHeader, RELIA_HEADER_BYTES};
 pub use error::NetError;
 pub use fault::{DeliveryExpired, FaultPlan, LinkRates, NetFaults, RetryPolicy};

@@ -36,5 +36,5 @@ mod time;
 
 pub use clock::VirtualClock;
 pub use cost::{CostModel, CostModelBuilder};
-pub use stats::{ClusterStats, SharedStats, StatsSnapshot};
+pub use stats::{ClusterStats, ReactorSnapshot, ReactorStats, SharedStats, StatsSnapshot};
 pub use time::VirtualTime;

@@ -171,6 +171,90 @@ define_stats! {
     net_added_delay_ns,
 }
 
+/// Counters of one protocol reactor: a poll-loop thread multiplexing the
+/// request queues of several nodes.
+///
+/// Kept separate from [`SharedStats`] on purpose. The per-node protocol
+/// counters are deterministic functions of the simulated execution and are
+/// compared bit-for-bit across runs; a reactor's poll cycles and wakeups
+/// depend on real-time scheduling (how much work accumulates between two
+/// wakeups varies with the host), so these counters are *informational* and
+/// must never enter a byte-pinned report.
+#[derive(Debug, Clone, Default)]
+pub struct ReactorStats {
+    inner: Arc<ReactorInner>,
+}
+
+#[derive(Debug, Default)]
+struct ReactorInner {
+    polls: AtomicU64,
+    wakeups: AtomicU64,
+    served: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl ReactorStats {
+    /// Creates a fresh set of zeroed counters.
+    pub fn new() -> ReactorStats {
+        ReactorStats::default()
+    }
+
+    /// Counts `n` poll cycles (one full sweep over the reactor's nodes).
+    pub fn polls(&self, n: u64) {
+        self.inner.polls.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` wakeups from the parked (doorbell) state.
+    pub fn wakeups(&self, n: u64) {
+        self.inner.wakeups.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` requests served.
+    pub fn served(&self, n: u64) {
+        self.inner.served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records an observed request-queue depth, keeping the maximum.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.inner.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Takes a plain-value snapshot of all counters.
+    pub fn snapshot(&self) -> ReactorSnapshot {
+        ReactorSnapshot {
+            polls: self.inner.polls.load(Ordering::Relaxed),
+            wakeups: self.inner.wakeups.load(Ordering::Relaxed),
+            served: self.inner.served.load(Ordering::Relaxed),
+            max_queue_depth: self.inner.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of a [`ReactorStats`] at one point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorSnapshot {
+    /// Poll cycles: full sweeps over the reactor's assigned nodes.
+    pub polls: u64,
+    /// Wakeups from the parked state (doorbell rings and watchdog re-arms).
+    pub wakeups: u64,
+    /// Protocol requests served across all assigned nodes.
+    pub served: u64,
+    /// Deepest request backlog observed on any assigned node at poll time.
+    pub max_queue_depth: u64,
+}
+
+impl ReactorSnapshot {
+    /// Requests served per wakeup — the multiplexing win made visible
+    /// (a dedicated blocking server thread serves exactly one per wakeup).
+    pub fn served_per_wakeup(&self) -> f64 {
+        if self.wakeups == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.wakeups as f64
+        }
+    }
+}
+
 impl StatsSnapshot {
     /// Total number of messages.
     pub fn messages(&self) -> u64 {
@@ -357,6 +441,25 @@ mod tests {
         assert_eq!(r.page_faults_pct, 100.0);
         assert_eq!(r.messages_pct, 70.0);
         assert_eq!(r.data_pct, -50.0);
+    }
+
+    #[test]
+    fn reactor_counters_accumulate_and_track_the_peak_depth() {
+        let r = ReactorStats::new();
+        let shared = r.clone();
+        r.polls(2);
+        shared.wakeups(1);
+        r.served(6);
+        r.note_queue_depth(3);
+        r.note_queue_depth(7);
+        r.note_queue_depth(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.polls, 2);
+        assert_eq!(snap.wakeups, 1);
+        assert_eq!(snap.served, 6);
+        assert_eq!(snap.max_queue_depth, 7, "the depth counter keeps the maximum, not the sum");
+        assert_eq!(snap.served_per_wakeup(), 6.0);
+        assert_eq!(ReactorSnapshot::default().served_per_wakeup(), 0.0);
     }
 
     #[test]

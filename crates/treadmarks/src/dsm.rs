@@ -1,22 +1,27 @@
 //! The run harness: N simulated processors over a [`msgnet::Cluster`].
 //!
-//! [`Dsm::run`] spawns two OS threads per simulated processor — the compute
-//! thread executing the application closure through its [`Process`], and
-//! the protocol-server thread standing in for the interrupt handler that
-//! services remote lock and diff requests — joins the application, shuts
-//! the servers down and collects per-node clocks and statistics.
+//! [`Dsm::run`] spawns one compute thread per simulated processor (the
+//! application closure executing through its [`Process`]) plus a small pool
+//! of protocol *reactors* — event-driven poll loops standing in for the
+//! interrupt handlers that service remote lock and diff requests, each
+//! multiplexing many nodes' request ports (see [`crate::reactor`]) —
+//! joins the application, shuts the reactors down and collects per-node
+//! clocks and statistics. The pool defaults to one reactor per host core
+//! ([`DsmConfig::reactor_count`]), so the host thread count grows as
+//! `nprocs + cores + 1` rather than `2·nprocs + 1` and a 128-processor
+//! run stays cheap on a small machine.
 
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use msgnet::{Cluster, DeliveryExpired, NodeId, Port};
+use msgnet::{Cluster, DeliveryExpired, Doorbell, NodeId, Port};
 use racecheck::{RaceDetect, RaceLog, RaceReport};
-use sp2model::{ClusterStats, VirtualTime};
+use sp2model::{ClusterStats, ReactorSnapshot, ReactorStats, VirtualTime};
 
 use crate::config::DsmConfig;
 use crate::message::TmkMessage;
 use crate::process::{PeerAbort, Process};
-use crate::server::server_loop;
+use crate::reactor::{reactor_loop, Lane};
 use crate::state::NodeShared;
 use crate::types::ProcId;
 use crate::watch::WaitBoard;
@@ -73,6 +78,11 @@ pub struct DsmRun<R> {
     /// [`racecheck::RaceLog::drain_sorted`]). Always empty when
     /// [`DsmConfig::race_detect`] is [`RaceDetect::Off`].
     pub races: Vec<RaceReport>,
+    /// One snapshot per protocol reactor, in pool order: poll sweeps,
+    /// doorbell wakeups, requests served and the peak request backlog seen
+    /// on any owned node. Host-scheduling dependent (never part of the
+    /// deterministic model outputs) — informational only.
+    pub reactors: Vec<ReactorSnapshot>,
 }
 
 impl<R> DsmRun<R> {
@@ -149,6 +159,18 @@ impl Dsm {
             })
             .collect();
 
+        // The reactor pool: node `i` is served by reactor `i % R`, and each
+        // reactor's doorbell is attached to all its nodes' mailboxes before
+        // any thread starts, so no request can ever be enqueued unseen.
+        let reactor_count = config.reactor_count();
+        let bells: Vec<Arc<Doorbell>> =
+            (0..reactor_count).map(|_| Arc::new(Doorbell::new())).collect();
+        let reactor_stats: Vec<ReactorStats> =
+            (0..reactor_count).map(|_| ReactorStats::new()).collect();
+        for (i, ep) in endpoints.iter().enumerate() {
+            ep.attach_request_doorbell(Arc::clone(&bells[i % reactor_count]));
+        }
+
         // The first system failure of the run; later ones (the poisoned
         // peers' cascading aborts) are consequences, not causes.
         let net_error: Mutex<Option<DsmError>> = Mutex::new(None);
@@ -168,20 +190,27 @@ impl Dsm {
         type Outcome<R> = Result<(R, VirtualTime), Box<dyn std::any::Any + Send>>;
         let mut outcomes: Vec<Option<Outcome<R>>> = (0..nprocs).map(|_| None).collect();
         std::thread::scope(|scope| {
-            for (ep, sh) in endpoints.iter().zip(&shareds) {
-                let ep = Arc::clone(ep);
-                let sh = Arc::clone(sh);
+            for (r, (bell, stats)) in bells.iter().zip(&reactor_stats).enumerate() {
+                // Ascending node id within the pool slice: the enumerate
+                // order is the reactor's deterministic sweep order.
+                let lanes: Vec<Lane> = endpoints
+                    .iter()
+                    .zip(&shareds)
+                    .enumerate()
+                    .filter(|(i, _)| i % reactor_count == r)
+                    .map(|(_, (ep, sh))| Lane::new(Arc::clone(ep), Arc::clone(sh)))
+                    .collect();
                 let report = &report_expired;
                 let server_panics = &server_panics;
+                let endpoints = &endpoints;
+                let watchdog = config.watchdog;
                 scope.spawn(move || {
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        server_loop(Arc::clone(&ep), Arc::clone(&sh));
-                    }));
-                    if let Err(panic) = result {
-                        // A dead server means some reply will never be sent.
-                        // Record the cause, then poison every reply port so
-                        // blocked compute threads unwind instead of tripping
-                        // the watchdog.
+                    reactor_loop(lanes, bell, stats, watchdog, |node, panic| {
+                        // A dead lane means some reply of `node` will never
+                        // be sent. Record the cause, then poison every reply
+                        // port so blocked compute threads unwind instead of
+                        // tripping the watchdog. The reactor itself keeps
+                        // serving its other nodes.
                         match panic.downcast_ref::<DeliveryExpired>() {
                             Some(expired) => report(
                                 expired,
@@ -191,10 +220,11 @@ impl Dsm {
                                 server_panics.lock().unwrap_or_else(|e| e.into_inner()).push(panic)
                             }
                         }
+                        let ep = &endpoints[node];
                         for peer in (0..ep.nodes()).map(NodeId) {
                             ep.send_control(peer, Port::Reply, TmkMessage::Shutdown);
                         }
-                    }
+                    });
                 });
             }
             let compute_handles: Vec<_> = endpoints
@@ -246,8 +276,9 @@ impl Dsm {
                     Err(panic) => Err(panic),
                 });
             }
-            // Stop every protocol server (whether or not the application
-            // panicked), so the scope can join them. Control sends carry no
+            // Retire every node's protocol lane (whether or not the
+            // application panicked): a reactor exits once all its lanes are
+            // dead, so the scope can join the pool. Control sends carry no
             // cost and no statistics, keeping teardown invisible to the
             // model.
             for ep in &endpoints {
@@ -299,7 +330,8 @@ impl Dsm {
         }
         let stats = endpoints.iter().map(|ep| ep.stats().snapshot()).collect();
         let races = race_log.map(|log| log.drain_sorted()).unwrap_or_default();
-        Ok(DsmRun { results, elapsed, stats, races })
+        let reactors = reactor_stats.iter().map(ReactorStats::snapshot).collect();
+        Ok(DsmRun { results, elapsed, stats, races, reactors })
     }
 }
 
@@ -652,6 +684,160 @@ mod tests {
         });
         let expect = (nprocs * ROUNDS) as u64;
         assert_eq!(run.results, vec![expect; nprocs]);
+    }
+
+    #[test]
+    fn any_reactor_pool_size_reproduces_the_run_bit_for_bit() {
+        // The reactor count is host-side scheduling only: a lock- and
+        // barrier-heavy workload must produce identical results, virtual
+        // times and protocol statistics whether one reactor multiplexes all
+        // eight nodes, the pool is an uneven three, or every node gets its
+        // own (the seed's thread-per-node shape).
+        const LOCK: LockId = 5;
+        let run_with = |reactors: Option<usize>| {
+            let mut config = DsmConfig::new(8).with_cost_model(CostModel::sp2());
+            if let Some(n) = reactors {
+                config = config.with_reactors(n);
+            }
+            Dsm::run(config, |p| {
+                // Token-passing locks (order fixed by the barriers) keep the
+                // workload itself deterministic; freely contended locks
+                // would grant in real-time arrival order and mask what is
+                // being measured here.
+                let a = p.alloc_array::<u64>(PAGE_SIZE / 8);
+                for turn in 0..p.nprocs() {
+                    if p.proc_id() == turn {
+                        p.lock_acquire(LOCK);
+                        let v = p.get(&a, 0);
+                        p.set(&a, 0, v + 1);
+                        p.lock_release(LOCK);
+                    }
+                    p.barrier();
+                }
+                p.set(&a, 8 + p.proc_id(), p.proc_id() as u64);
+                p.barrier();
+                (0..p.nprocs()).map(|i| p.get(&a, 8 + i)).sum::<u64>() + p.get(&a, 0)
+            })
+        };
+        let single = run_with(Some(1));
+        assert_eq!(single.reactors.len(), 1, "the pool size is the pinned count");
+        let served: u64 = single.reactors.iter().map(|r| r.served).sum();
+        assert!(served > 0, "the reactor served the protocol traffic");
+        for pool in [None, Some(3), Some(8)] {
+            let run = run_with(pool);
+            assert_eq!(run.results, single.results, "results at pool {pool:?}");
+            assert_eq!(run.elapsed, single.elapsed, "virtual times at pool {pool:?}");
+            assert_eq!(run.stats, single.stats, "statistics at pool {pool:?}");
+            // The served total is the run's request-message count plus the
+            // shutdown poisons — deterministic however it is split.
+            assert_eq!(run.reactors.iter().map(|r| r.served).sum::<u64>(), served);
+        }
+    }
+
+    #[test]
+    fn a_wide_run_spawns_a_bounded_thread_pool_not_a_thread_per_node() {
+        // 128 simulated processors in the default configuration: the
+        // protocol side must be served by min(nprocs, cores) reactors, and
+        // the harness must not have spawned the seed's two threads per node.
+        // The count is read from /proc/self/status inside the run, so the
+        // bound is over *live* threads (with headroom for concurrently
+        // running tests — the margin below is nprocs-sized, far above what
+        // the rest of the suite spawns at once).
+        let nprocs = 128;
+        let threads_now = || -> usize {
+            let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+            status
+                .lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0)
+        };
+        let peak = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let peak_in_run = Arc::clone(&peak);
+        let run = Dsm::run(free_config(nprocs), move |p| {
+            let a = p.alloc_array::<u64>(nprocs);
+            p.set(&a, p.proc_id(), 1);
+            p.barrier();
+            if p.proc_id() == 0 {
+                peak_in_run.store(threads_now(), std::sync::atomic::Ordering::SeqCst);
+            }
+            (0..nprocs).map(|i| p.get(&a, i)).sum::<u64>()
+        });
+        assert_eq!(run.results, vec![nprocs as u64; nprocs]);
+        let cores =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        assert_eq!(run.reactors.len(), cores.min(nprocs), "one reactor per core, capped");
+        let peak = peak.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(peak >= nprocs, "the compute threads were live when sampled: {peak}");
+        assert!(
+            peak < 2 * nprocs,
+            "{peak} live threads: the protocol side must not cost a thread per node"
+        );
+    }
+
+    #[test]
+    fn the_watchdog_dump_names_every_node_multiplexed_on_a_reactor() {
+        // 32 nodes on a deliberately tiny pool: whoever wins lock 7 parks at
+        // a barrier the 31 losers can never reach. The watchdog dump must
+        // still name every node individually — each multiplexed node keeps
+        // its own wait-board slot even though one reactor serves them all.
+        let nprocs = 32;
+        let config = free_config(nprocs)
+            .with_reactors(2)
+            .with_watchdog(std::time::Duration::from_millis(400));
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = Dsm::run(config, |p| {
+                p.lock_acquire(7);
+                p.barrier();
+            });
+        }))
+        .expect_err("the deadlock must fail the run");
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("watchdog panics carry a message");
+        assert!(message.contains("cluster wait state"), "dump missing: {message}");
+        for proc in 0..nprocs {
+            assert!(
+                message.contains(&format!("P{proc} compute:")),
+                "node {proc} missing from the dump: {message}"
+            );
+        }
+        let losers = message.matches("a lock grant").count();
+        assert!(losers >= nprocs - 1, "all {} losers parked on the lock: {message}", nprocs - 1);
+        let idle_servers = message.matches("the next protocol request (idle)").count();
+        assert!(
+            idle_servers >= nprocs - 1,
+            "the parked reactors label every multiplexed node's server slot \
+             ({idle_servers} labelled): {message}"
+        );
+    }
+
+    #[test]
+    fn a_dead_link_surfaces_as_a_structured_error_on_a_shared_reactor() {
+        use msgnet::{FaultPlan, LinkRates, NetFaults, RetryPolicy};
+        // Same dead interconnect as above, but with both nodes multiplexed
+        // onto one reactor: the expired delivery kills only that node's
+        // lane, and the reactor (still serving the surviving node) must
+        // deliver the same structured error, not hang or crash the pool.
+        let faults = NetFaults {
+            plan: FaultPlan::uniform(42, LinkRates::DEAD),
+            retry: RetryPolicy::default(),
+        };
+        let config = free_config(2).with_net_faults(Some(faults)).with_reactors(1);
+        let err = Dsm::try_run(config, |p| {
+            let a = p.alloc_array::<u64>(8);
+            if p.proc_id() == 0 {
+                p.set(&a, 0, 1);
+            }
+            p.barrier();
+            p.get(&a, 0)
+        })
+        .expect_err("a dead interconnect cannot complete a barrier");
+        let DsmError::PeerUnresponsive { node, waiting_on, .. } = err;
+        assert!(node < 2, "the unresponsive peer is a cluster node");
+        assert!(!waiting_on.is_empty(), "the error names the stuck operation");
     }
 
     #[test]

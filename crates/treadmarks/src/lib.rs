@@ -66,6 +66,7 @@ mod dsm;
 mod message;
 mod notice;
 mod process;
+mod reactor;
 mod server;
 mod sharedarray;
 mod state;
@@ -81,4 +82,5 @@ pub use notice::{NoticeLog, WriteNotice};
 pub use process::{FetchHandle, PendingSync, PhasePlan, Process, PushReceipt, SyncOp};
 pub use racecheck::{RaceAccess, RaceDetect, RaceReport, SyncKind};
 pub use sharedarray::{Shareable, SharedArray, SharedMatrix};
+pub use sp2model::ReactorSnapshot;
 pub use types::{Interval, LockId, ProcId, Vt};

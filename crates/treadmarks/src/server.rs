@@ -1,14 +1,18 @@
-//! The per-node protocol-server thread.
+//! The per-node protocol-request handlers.
 //!
 //! TreadMarks services remote lock, page and diff requests in an interrupt
-//! handler. In this reproduction each node runs a dedicated server thread
-//! that drains the node's request port and answers from the shared protocol
-//! state. Server handlers only touch local state and never block on remote
-//! operations, which keeps the system free of distributed deadlock.
+//! handler. In this reproduction the handler is [`serve_one`]: a per-node
+//! state machine step that answers one request-port envelope from the
+//! node's shared protocol state. A protocol *reactor*
+//! ([`crate::reactor`]) drives many nodes' handlers from one poll loop — a
+//! node no longer owns a dedicated blocking server thread. Handlers only
+//! touch the served node's local state and never block on remote
+//! operations, which keeps the system free of distributed deadlock and
+//! makes the serving order across nodes irrelevant to the result: every
+//! reply is timed from the request's virtual arrival time plus a modelled
+//! service cost, never from when the reactor got around to it.
 
-use std::sync::Arc;
-
-use msgnet::{Endpoint, NetError, NodeId, Port};
+use msgnet::{Endpoint, Envelope, NodeId, Port};
 use pagedmem::PageId;
 use sp2model::VirtualTime;
 
@@ -18,58 +22,54 @@ use crate::state::{
 };
 use crate::types::{Interval, LockId, ProcId, Vt};
 
-/// Runs a node's protocol server until a [`TmkMessage::Shutdown`] arrives.
+/// What [`serve_one`] tells the driving reactor about the served node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Served {
+    /// The request was handled; keep polling this node.
+    Continue,
+    /// The node's shutdown poison arrived; stop serving it.
+    Shutdown,
+}
+
+/// Serves one envelope from a node's request port: the reactor-driven
+/// protocol-server state machine step.
 ///
-/// Every blocking receive is bounded by the configured watchdog, but a
-/// timeout here is *not* an error: an idle server between requests is the
-/// normal quiescent state (it is the compute side whose unanswered wait
-/// signals a wedge), so the loop just re-arms the deadline. The bound
-/// exists so the server parks with a fresh wait-board label and can never
-/// be the thread that silently hangs a teardown.
-pub(crate) fn server_loop(endpoint: Arc<Endpoint<TmkMessage>>, shared: Arc<NodeShared>) {
-    let me = endpoint.id().index();
-    loop {
-        shared.board.wait(me, true, String::from("the next protocol request (idle)"));
-        let envelope = match endpoint.recv_timeout(Port::Request, shared.watchdog) {
-            Ok(envelope) => envelope,
-            Err(NetError::Timeout) => continue,
-            // All peers (and the harness) are gone; nothing left to serve.
-            Err(_) => return,
-        };
-        shared.board.done(me, true);
-        let arrived_at = envelope.arrives_at;
-        match envelope.payload {
-            TmkMessage::Shutdown => return,
-            TmkMessage::DiffRequest { req_id, requester, wants } => {
-                handle_diff_request(&endpoint, &shared, req_id, requester, &wants, arrived_at);
-            }
-            TmkMessage::LockAcquireRequest { lock, requester, vt, sync_pages } => {
-                handle_lock_acquire(
-                    &endpoint, &shared, lock, requester, vt, sync_pages, arrived_at,
-                );
-            }
-            TmkMessage::LockForward {
+/// # Panics
+///
+/// Panics (with a [`msgnet::DeliveryExpired`] payload) when a reply cannot
+/// be delivered under the configured fault plan, and on a protocol bug
+/// (a message kind that never travels on the request port). The driving
+/// reactor catches both per message.
+pub(crate) fn serve_one(
+    endpoint: &Endpoint<TmkMessage>,
+    shared: &NodeShared,
+    envelope: Envelope<TmkMessage>,
+) -> Served {
+    let arrived_at = envelope.arrives_at;
+    match envelope.payload {
+        TmkMessage::Shutdown => return Served::Shutdown,
+        TmkMessage::DiffRequest { req_id, requester, wants } => {
+            handle_diff_request(endpoint, shared, req_id, requester, &wants, arrived_at);
+        }
+        TmkMessage::LockAcquireRequest { lock, requester, vt, sync_pages } => {
+            handle_lock_acquire(endpoint, shared, lock, requester, vt, sync_pages, arrived_at);
+        }
+        TmkMessage::LockForward { lock, requester, vt, sync_pages, holder_acquires_processed } => {
+            handle_lock_forward(
+                endpoint,
+                shared,
                 lock,
                 requester,
                 vt,
                 sync_pages,
+                arrived_at,
                 holder_acquires_processed,
-            } => {
-                handle_lock_forward(
-                    &endpoint,
-                    &shared,
-                    lock,
-                    requester,
-                    vt,
-                    sync_pages,
-                    arrived_at,
-                    holder_acquires_processed,
-                );
-            }
-            // All other message kinds travel on the reply port.
-            other => unreachable!("unexpected message on request port: {other:?}"),
+            );
         }
+        // All other message kinds travel on the reply port.
+        other => unreachable!("unexpected message on request port: {other:?}"),
     }
+    Served::Continue
 }
 
 /// Answers a diff request: for every interval (or consolidated base) the
